@@ -1,0 +1,5 @@
+* Resistor divider: V(mid) = 0.75 V
+VIN in 0 DC 1.0
+R1 in mid 1k
+R2 mid 0 3k
+.end

@@ -1,0 +1,7 @@
+* Single-fin LVT inverter biased near its trip point
+VDD vdd 0 DC 0.45
+VIN in  0 DC 0.22
+M1  out in vdd pfet_lvt
+M2  out in 0   nfet_lvt
+C1  out 0 0.1f
+.end
