@@ -1,0 +1,555 @@
+(* sram_opt — command-line front end of the SRAM EDP co-optimization
+   framework.
+
+   Subcommands:
+     optimize     co-optimize one array (capacity x flavor x method)
+     sweep        regenerate Table 4 / Figure 7 across capacities
+     experiments  run the full paper-reproduction suite
+     margins      report cell margins under given assist levels
+     assist       sweep one assist technique (Figures 3 / 5)
+     anneal       compare simulated annealing against exhaustive search *)
+
+let capacity_conv =
+  let parse s =
+    let s = String.trim (String.uppercase_ascii s) in
+    let of_bytes b = Ok (b * 8) in
+    try
+      if String.length s > 2 && String.sub s (String.length s - 2) 2 = "KB" then
+        of_bytes (1024 * int_of_string (String.sub s 0 (String.length s - 2)))
+      else if String.length s > 1 && s.[String.length s - 1] = 'B' then
+        of_bytes (int_of_string (String.sub s 0 (String.length s - 1)))
+      else of_bytes (int_of_string s)
+    with Failure _ -> Error (`Msg (Printf.sprintf "bad capacity %S (try 4KB, 128B)" s))
+  in
+  let print ppf bits = Format.fprintf ppf "%s" (Sram_edp.Units.capacity bits) in
+  Cmdliner.Arg.conv (parse, print)
+
+let flavor_conv =
+  let parse s =
+    match Finfet.Library.flavor_of_string s with
+    | Some f -> Ok f
+    | None -> Error (`Msg (Printf.sprintf "bad flavor %S (lvt or hvt)" s))
+  in
+  let print ppf f = Format.fprintf ppf "%s" (Finfet.Library.flavor_to_string f) in
+  Cmdliner.Arg.conv (parse, print)
+
+let method_conv =
+  let parse s =
+    match String.uppercase_ascii s with
+    | "M1" -> Ok Opt.Space.M1
+    | "M2" -> Ok Opt.Space.M2
+    | _ -> Error (`Msg (Printf.sprintf "bad method %S (m1 or m2)" s))
+  in
+  let print ppf m = Format.fprintf ppf "%s" (Opt.Space.method_name m) in
+  Cmdliner.Arg.conv (parse, print)
+
+let accounting_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "strict" | "paper" -> Ok Array_model.Array_eval.Paper_strict
+    | "physical" -> Ok Array_model.Array_eval.Physical
+    | _ -> Error (`Msg (Printf.sprintf "bad accounting %S (strict or physical)" s))
+  in
+  let print ppf = function
+    | Array_model.Array_eval.Paper_strict -> Format.fprintf ppf "strict"
+    | Array_model.Array_eval.Physical -> Format.fprintf ppf "physical"
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+open Cmdliner
+
+let capacity_arg =
+  Arg.(value & opt capacity_conv (4096 * 8)
+       & info [ "capacity"; "c" ] ~docv:"CAP" ~doc:"Array capacity (e.g. 4KB, 128B).")
+
+let flavor_arg =
+  Arg.(value & opt flavor_conv Finfet.Library.Hvt
+       & info [ "flavor"; "f" ] ~docv:"FLAVOR" ~doc:"SRAM cell device flavor: lvt or hvt.")
+
+let method_arg =
+  Arg.(value & opt method_conv Opt.Space.M2
+       & info [ "method"; "m" ] ~docv:"METHOD" ~doc:"Voltage-pin policy: m1 or m2.")
+
+let accounting_arg =
+  Arg.(value & opt accounting_conv Array_model.Array_eval.Paper_strict
+       & info [ "accounting" ] ~docv:"MODE"
+           ~doc:"Energy accounting: strict (Table 3 verbatim) or physical.")
+
+let print_optimized (o : Sram_edp.Framework.optimized) =
+  let g = Sram_edp.Framework.geometry o in
+  let a = Sram_edp.Framework.assist o in
+  let m = Sram_edp.Framework.metrics o in
+  let open Sram_edp in
+  Printf.printf "%s %s\n" (Units.capacity o.Framework.capacity_bits)
+    (Framework.config_name o.Framework.config);
+  Printf.printf "  organization : %d rows x %d cols (W=%d)\n"
+    g.Array_model.Geometry.nr g.Array_model.Geometry.nc g.Array_model.Geometry.w;
+  Printf.printf "  fins         : N_pre=%d N_wr=%d\n"
+    g.Array_model.Geometry.n_pre g.Array_model.Geometry.n_wr;
+  Printf.printf "  assist rails : V_DDC=%s V_SSC=%s V_WL=%s\n"
+    (Units.mv a.Array_model.Components.vddc)
+    (Units.mv a.Array_model.Components.vssc)
+    (Units.mv a.Array_model.Components.vwl);
+  Printf.printf "  delay        : %s (read %s, write %s, BL %s)\n"
+    (Units.ps m.Array_model.Array_eval.d_array)
+    (Units.ps m.Array_model.Array_eval.d_read)
+    (Units.ps m.Array_model.Array_eval.d_write)
+    (Units.ps m.Array_model.Array_eval.d_bl_read);
+  Printf.printf "  energy       : %s (switching %s, leakage %s)\n"
+    (Units.fj m.Array_model.Array_eval.e_total)
+    (Units.fj m.Array_model.Array_eval.e_switching)
+    (Units.fj m.Array_model.Array_eval.e_leakage);
+  Printf.printf "  EDP          : %.4g Js\n" m.Array_model.Array_eval.edp;
+  Printf.printf "  search       : %d candidates evaluated\n"
+    o.Framework.result.Opt.Exhaustive.evaluated
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
+
+let optimize_cmd =
+  let run capacity flavor method_ accounting json =
+    let o =
+      Sram_edp.Framework.optimize ~accounting ~capacity_bits:capacity
+        ~config:{ Sram_edp.Framework.flavor; method_ } ()
+    in
+    if json then begin
+      let g = Sram_edp.Framework.geometry o in
+      let a = Sram_edp.Framework.assist o in
+      print_endline
+        (Sram_edp.Json_out.to_string_pretty
+           (Sram_edp.Json_out.Obj
+              [ ("capacity_bits", Sram_edp.Json_out.Int capacity);
+                ("config",
+                 Sram_edp.Json_out.String
+                   (Sram_edp.Framework.config_name o.Sram_edp.Framework.config));
+                ("nr", Sram_edp.Json_out.Int g.Array_model.Geometry.nr);
+                ("nc", Sram_edp.Json_out.Int g.Array_model.Geometry.nc);
+                ("n_pre", Sram_edp.Json_out.Int g.Array_model.Geometry.n_pre);
+                ("n_wr", Sram_edp.Json_out.Int g.Array_model.Geometry.n_wr);
+                ("vddc_v", Sram_edp.Json_out.Float a.Array_model.Components.vddc);
+                ("vssc_v", Sram_edp.Json_out.Float a.Array_model.Components.vssc);
+                ("vwl_v", Sram_edp.Json_out.Float a.Array_model.Components.vwl);
+                ("metrics", Sram_edp.Json_out.of_metrics (Sram_edp.Framework.metrics o)) ]))
+    end
+    else print_optimized o
+  in
+  Cmd.v (Cmd.info "optimize" ~doc:"Co-optimize one SRAM array for minimum EDP")
+    Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ accounting_arg $ json_flag)
+
+let sweep_cmd =
+  let run json =
+    if json then
+      print_endline
+        (Sram_edp.Json_out.to_string_pretty
+           (Sram_edp.Json_out.Obj
+              [ ("designs", Sram_edp.Json_out.design_table_json ());
+                ("headline",
+                 Sram_edp.Json_out.of_headline (Sram_edp.Framework.headline ())) ]))
+    else begin
+      Sram_edp.Experiments.print_table4 ();
+      Sram_edp.Experiments.print_fig7 ();
+      Sram_edp.Experiments.print_fig7d ();
+      Sram_edp.Experiments.print_headline ()
+    end
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Regenerate Table 4 and Figure 7 across capacities")
+    Term.(const run $ json_flag)
+
+let experiments_cmd =
+  let run () = Sram_edp.Experiments.run_all () in
+  Cmd.v (Cmd.info "experiments" ~doc:"Run the full paper-reproduction suite")
+    Term.(const run $ const ())
+
+let margins_cmd =
+  let run flavor vddc vssc vwl =
+    let lib = Lazy.force Finfet.Library.default in
+    let cell =
+      Finfet.Variation.nominal_cell
+        ~nfet:(Finfet.Library.nfet lib flavor)
+        ~pfet:(Finfet.Library.pfet lib flavor)
+    in
+    let vdd = Finfet.Tech.vdd_nominal in
+    let open Sram_edp in
+    Printf.printf "6T-%s margins (delta = %s):\n"
+      (Finfet.Library.flavor_to_string flavor) (Units.mv Finfet.Tech.min_margin);
+    Printf.printf "  HSNM @ nominal : %s\n"
+      (Units.mv (Sram_cell.Margins.hold_snm ~cell vdd));
+    Printf.printf "  RSNM           : %s (V_DDC=%s, V_SSC=%s)\n"
+      (Units.mv
+         (Sram_cell.Margins.read_snm ~cell (Sram_cell.Sram6t.read ~vddc ~vssc ())))
+      (Units.mv vddc) (Units.mv vssc);
+    Printf.printf "  WM             : %s (V_WL=%s)\n"
+      (Units.mv
+         (Sram_cell.Margins.write_margin ~cell (Sram_cell.Sram6t.write0 ~vwl ())))
+      (Units.mv vwl);
+    Printf.printf "  leakage        : %s\n"
+      (Units.nw (Sram_cell.Leakage.power ~cell ()))
+  in
+  let vddc = Arg.(value & opt float 0.450 & info [ "vddc" ] ~doc:"Cell supply during read (V).") in
+  let vssc = Arg.(value & opt float 0.0 & info [ "vssc" ] ~doc:"Cell ground during read (V).") in
+  let vwl = Arg.(value & opt float 0.450 & info [ "vwl" ] ~doc:"Write wordline level (V).") in
+  Cmd.v (Cmd.info "margins" ~doc:"Report 6T cell margins under assist levels")
+    Term.(const run $ flavor_arg $ vddc $ vssc $ vwl)
+
+let assist_cmd =
+  let technique_conv =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "boost" -> Ok (`Read Assist.Technique.Vdd_boost)
+      | "neggnd" -> Ok (`Read Assist.Technique.Negative_gnd)
+      | "wlud" -> Ok (`Read Assist.Technique.Wl_underdrive)
+      | "wlod" -> Ok (`Write Assist.Technique.Wl_overdrive)
+      | "negbl" -> Ok (`Write Assist.Technique.Negative_bl)
+      | _ ->
+        Error (`Msg (Printf.sprintf "bad technique %S (boost|neggnd|wlud|wlod|negbl)" s))
+    in
+    let print ppf = function
+      | `Read t -> Format.fprintf ppf "%s" (Assist.Technique.read_assist_name t)
+      | `Write t -> Format.fprintf ppf "%s" (Assist.Technique.write_assist_name t)
+    in
+    Arg.conv (parse, print)
+  in
+  let technique_arg =
+    Arg.(required & pos 0 (some technique_conv) None
+         & info [] ~docv:"TECHNIQUE" ~doc:"boost, neggnd, wlud, wlod or negbl.")
+  in
+  let run technique =
+    match technique with
+    | `Read t ->
+      let sweep = Sram_edp.Experiments.fig3_read_assist t in
+      Array.iter
+        (fun (p : Assist.Sweep.read_point) ->
+          Printf.printf "%s: RSNM=%s I_read=%s BL=%s\n"
+            (Sram_edp.Units.mv p.Assist.Sweep.voltage)
+            (Sram_edp.Units.mv p.Assist.Sweep.rsnm)
+            (Sram_edp.Units.ua p.Assist.Sweep.read_current)
+            (Sram_edp.Units.ps p.Assist.Sweep.bl_delay))
+        sweep.Sram_edp.Experiments.points
+    | `Write t ->
+      let sweep = Sram_edp.Experiments.fig5_write_assist t in
+      Array.iter
+        (fun (p : Assist.Sweep.write_point) ->
+          Printf.printf "%s: WM=%s write delay=%s\n"
+            (Sram_edp.Units.mv p.Assist.Sweep.voltage)
+            (Sram_edp.Units.mv p.Assist.Sweep.wm)
+            (Sram_edp.Units.ps p.Assist.Sweep.cell_write_delay))
+        sweep.Sram_edp.Experiments.points
+  in
+  Cmd.v (Cmd.info "assist" ~doc:"Sweep one assist technique on the 6T-HVT cell")
+    Term.(const run $ technique_arg)
+
+let anneal_cmd =
+  let run capacity flavor method_ seed =
+    let env = Array_model.Array_eval.make_env ~cell_flavor:flavor () in
+    let exhaustive =
+      Opt.Exhaustive.search ~env ~capacity_bits:capacity ~method_ ()
+    in
+    let annealed =
+      Opt.Anneal.search ~seed ~env ~capacity_bits:capacity ~method_ ()
+    in
+    let score (r : Opt.Exhaustive.result) = r.Opt.Exhaustive.best.Opt.Exhaustive.score in
+    Printf.printf "exhaustive: EDP=%.4g Js in %d evaluations\n"
+      (score exhaustive) exhaustive.Opt.Exhaustive.evaluated;
+    Printf.printf "annealed  : EDP=%.4g Js in %d evaluations (gap %+.2f%%)\n"
+      (score annealed) annealed.Opt.Exhaustive.evaluated
+      (100.0 *. ((score annealed /. score exhaustive) -. 1.0))
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Annealing RNG seed.") in
+  Cmd.v (Cmd.info "anneal" ~doc:"Compare simulated annealing against exhaustive search")
+    Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ seed)
+
+let bank_cmd =
+  let run capacity flavor method_ max_banks =
+    let env = Array_model.Array_eval.make_env ~cell_flavor:flavor () in
+    let best, all =
+      Cache_model.Banked.optimize ~space:Opt.Space.reduced ~max_banks ~env
+        ~capacity_bits:capacity ~method_ ()
+    in
+    let table =
+      Sram_edp.Report.create
+        ~columns:[ "banks"; "bank org"; "H-tree"; "total delay"; "energy"; "EDP"; "" ]
+    in
+    List.iter
+      (fun (d : Cache_model.Banked.bank_design) ->
+        let g = d.Cache_model.Banked.per_bank.Opt.Exhaustive.best.Opt.Exhaustive.geometry in
+        Sram_edp.Report.add_row table
+          [ string_of_int d.Cache_model.Banked.banks;
+            Printf.sprintf "%dx%d" g.Array_model.Geometry.nr g.Array_model.Geometry.nc;
+            Sram_edp.Units.ps d.Cache_model.Banked.d_htree;
+            Sram_edp.Units.ps d.Cache_model.Banked.d_total;
+            Sram_edp.Units.fj d.Cache_model.Banked.e_total;
+            Printf.sprintf "%.3g Js" d.Cache_model.Banked.edp;
+            (if d.Cache_model.Banked.banks = best.Cache_model.Banked.banks
+             then "<-- best" else "") ])
+      all;
+    Sram_edp.Report.print
+      ~title:
+        (Printf.sprintf "Bank-count sweep, %s %s"
+           (Sram_edp.Units.capacity capacity)
+           (Finfet.Library.flavor_to_string flavor))
+      table
+  in
+  let max_banks =
+    Arg.(value & opt int 16 & info [ "max-banks" ] ~doc:"Largest bank count tried.")
+  in
+  Cmd.v
+    (Cmd.info "bank"
+       ~doc:"Co-optimize the bank count on top of the array-level search")
+    Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ max_banks)
+
+let retention_cmd =
+  let run flavor =
+    let lib = Lazy.force Finfet.Library.default in
+    let cell =
+      Finfet.Variation.nominal_cell
+        ~nfet:(Finfet.Library.nfet lib flavor)
+        ~pfet:(Finfet.Library.pfet lib flavor)
+    in
+    let s = Sram_cell.Retention.standby ~cell () in
+    Printf.printf "6T-%s standby analysis:\n" (Finfet.Library.flavor_to_string flavor);
+    Printf.printf "  retention voltage : %s (HSNM rule)\n"
+      (Sram_edp.Units.mv s.Sram_cell.Retention.v_retention);
+    Printf.printf "  drowsy rail       : %s (+50 mV guard)\n"
+      (Sram_edp.Units.mv s.Sram_cell.Retention.v_standby);
+    Printf.printf "  leakage           : %s -> %s (%.1f%% saved)\n"
+      (Sram_edp.Units.nw s.Sram_cell.Retention.p_active)
+      (Sram_edp.Units.nw s.Sram_cell.Retention.p_standby)
+      (100.0 *. s.Sram_cell.Retention.savings)
+  in
+  Cmd.v
+    (Cmd.info "retention" ~doc:"Data-retention voltage and drowsy-standby savings")
+    Term.(const run $ flavor_arg)
+
+let corners_cmd =
+  let run flavor vddc vwl =
+    let lib = Lazy.force Finfet.Library.default in
+    let nfet = Finfet.Library.nfet lib flavor in
+    let pfet = Finfet.Library.pfet lib flavor in
+    let table =
+      Sram_edp.Report.create ~columns:[ "corner"; "HSNM"; "RSNM"; "WM"; "leakage" ]
+    in
+    List.iter
+      (fun corner ->
+        let cell = Finfet.Corners.cell corner ~nfet ~pfet in
+        Sram_edp.Report.add_row table
+          [ Finfet.Corners.name corner;
+            Sram_edp.Units.mv
+              (Sram_cell.Margins.hold_snm ~points:41 ~cell Finfet.Tech.vdd_nominal);
+            Sram_edp.Units.mv
+              (Sram_cell.Margins.read_snm ~points:41 ~cell
+                 (Sram_cell.Sram6t.read ~vddc ()));
+            Sram_edp.Units.mv
+              (Sram_cell.Margins.write_margin ~cell (Sram_cell.Sram6t.write0 ~vwl ()));
+            Sram_edp.Units.nw (Sram_cell.Leakage.power ~cell ()) ])
+      Finfet.Corners.all;
+    Sram_edp.Report.print
+      ~title:
+        (Printf.sprintf "Process corners, 6T-%s (V_DDC=%s, V_WL=%s)"
+           (Finfet.Library.flavor_to_string flavor) (Sram_edp.Units.mv vddc)
+           (Sram_edp.Units.mv vwl))
+      table
+  in
+  let vddc = Arg.(value & opt float 0.55 & info [ "vddc" ] ~doc:"Read-assist supply (V).") in
+  let vwl = Arg.(value & opt float 0.55 & info [ "vwl" ] ~doc:"Write WL level (V).") in
+  Cmd.v (Cmd.info "corners" ~doc:"Five-corner margin and leakage signoff")
+    Term.(const run $ flavor_arg $ vddc $ vwl)
+
+let compare8t_cmd =
+  let run capacity = Sram_edp.Eight_t.print_comparison ~capacity_bits:capacity in
+  Cmd.v
+    (Cmd.info "compare8t"
+       ~doc:"Compare the 8T-LVT alternative against the 6T proposals")
+    Term.(const run $ capacity_arg)
+
+let workload_cmd =
+  let run capacity length =
+    let rows = Workload.Sensitivity.study ~length ~capacity_bits:capacity () in
+    let table =
+      Sram_edp.Report.create
+        ~columns:[ "workload"; "alpha"; "beta"; "V_SSC"; "EDP"; "HVT advantage" ]
+    in
+    List.iter
+      (fun (r : Workload.Sensitivity.study_row) ->
+        Sram_edp.Report.add_row table
+          [ r.Workload.Sensitivity.name;
+            Printf.sprintf "%.2f" r.Workload.Sensitivity.alpha;
+            Printf.sprintf "%.2f" r.Workload.Sensitivity.beta;
+            Sram_edp.Units.mv r.Workload.Sensitivity.vssc;
+            Printf.sprintf "%.3g Js" r.Workload.Sensitivity.edp;
+            Sram_edp.Units.percent (-.r.Workload.Sensitivity.hvt_advantage) ])
+      rows;
+    Sram_edp.Report.print
+      ~title:
+        (Printf.sprintf "Workload sensitivity at %s" (Sram_edp.Units.capacity capacity))
+      table
+  in
+  let length =
+    Arg.(value & opt int 20_000 & info [ "length" ] ~doc:"Trace length in cycles.")
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Co-optimize under trace-derived (alpha, beta) workload parameters")
+    Term.(const run $ capacity_arg $ length)
+
+let validate_cmd =
+  let run rows vssc =
+    let lib = Lazy.force Finfet.Library.default in
+    let cell =
+      Finfet.Variation.nominal_cell
+        ~nfet:(Finfet.Library.nfet lib Finfet.Library.Hvt)
+        ~pfet:(Finfet.Library.pfet lib Finfet.Library.Hvt)
+    in
+    let config = { Sram_cell.Column.default_config with Sram_cell.Column.nr = rows } in
+    let read =
+      Sram_cell.Column.validate ~cell config (Sram_cell.Sram6t.read ~vddc:0.55 ~vssc ())
+    in
+    let write = Sram_cell.Column.validate_write ~cell config in
+    Printf.printf "read : analytic=%s simulated=%s error=%s\n"
+      (Sram_edp.Units.ps read.Sram_cell.Column.analytic)
+      (Sram_edp.Units.ps read.Sram_cell.Column.simulated)
+      (Sram_edp.Units.percent read.Sram_cell.Column.relative_error);
+    Printf.printf "write: analytic=%s simulated=%s error=%s\n"
+      (Sram_edp.Units.ps write.Sram_cell.Column.analytic)
+      (Sram_edp.Units.ps write.Sram_cell.Column.simulated)
+      (Sram_edp.Units.percent write.Sram_cell.Column.relative_error)
+  in
+  let rows = Arg.(value & opt int 64 & info [ "rows" ] ~doc:"Cells on the bitline.") in
+  let vssc = Arg.(value & opt float 0.0 & info [ "vssc" ] ~doc:"Negative-Gnd level (V).") in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Validate Equation (1) against distributed-RC column transients")
+    Term.(const run $ rows $ vssc)
+
+let stat_cmd =
+  let run flavor rows vssc k =
+    let lib = Lazy.force Finfet.Library.default in
+    let cell =
+      Finfet.Variation.nominal_cell
+        ~nfet:(Finfet.Library.nfet lib flavor)
+        ~pfet:(Finfet.Library.pfet lib flavor)
+    in
+    let g =
+      Sram_cell.Stat_timing.bl_delay_guardband ~k ~cell
+        ~column:{ Sram_cell.Column.default_config with Sram_cell.Column.nr = rows }
+        ~condition:(Sram_cell.Sram6t.read ~vddc:0.55 ~vssc ())
+        ()
+    in
+    Printf.printf
+      "%d-row column, V_SSC=%s: nominal %s, mean %s, %.0f-sigma slow cell %s (derate %.2fx)\n"
+      rows (Sram_edp.Units.mv vssc)
+      (Sram_edp.Units.ps g.Sram_cell.Stat_timing.nominal_delay)
+      (Sram_edp.Units.ps g.Sram_cell.Stat_timing.mean_delay)
+      k
+      (Sram_edp.Units.ps g.Sram_cell.Stat_timing.k_sigma_delay)
+      g.Sram_cell.Stat_timing.derate
+  in
+  let rows = Arg.(value & opt int 64 & info [ "rows" ] ~doc:"Cells on the bitline.") in
+  let vssc = Arg.(value & opt float 0.0 & info [ "vssc" ] ~doc:"Negative-Gnd level (V).") in
+  let k = Arg.(value & opt float 3.0 & info [ "k" ] ~doc:"Sigma multiplier.") in
+  Cmd.v
+    (Cmd.info "stat" ~doc:"Statistical sense-timing guardband under variation")
+    Term.(const run $ flavor_arg $ rows $ vssc $ k)
+
+let datasheet_cmd =
+  let run capacity flavor method_ =
+    let o =
+      Sram_edp.Framework.optimize ~capacity_bits:capacity
+        ~config:{ Sram_edp.Framework.flavor; method_ } ()
+    in
+    Sram_edp.Datasheet.print o
+  in
+  Cmd.v
+    (Cmd.info "datasheet"
+       ~doc:"Full datasheet of the optimized design: margins, timing and energy breakdowns")
+    Term.(const run $ capacity_arg $ flavor_arg $ method_arg)
+
+let simulate_cmd =
+  let run path op_nodes tran tran_node =
+    let lib = Lazy.force Finfet.Library.default in
+    let text =
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+    in
+    match Spice.Deck.parse ~lib text with
+    | Error e ->
+      Printf.eprintf "parse error: %s\n" e;
+      exit 1
+    | Ok (netlist, names) ->
+      let lookup name =
+        match Spice.Deck.node names name with
+        | Some n -> n
+        | None ->
+          Printf.eprintf "unknown node %S\n" name;
+          exit 1
+      in
+      (match tran with
+       | None ->
+         let s = Spice.Dc.operating_point netlist in
+         if not s.Spice.Dc.converged then
+           print_endline "warning: operating point did not fully converge";
+         let nodes =
+           match op_nodes with [] -> List.map fst names | some -> some
+         in
+         List.iter
+           (fun name ->
+             Printf.printf "V(%s) = %.6g V\n" name
+               (Spice.Dc.node_voltage s (lookup name)))
+           nodes
+       | Some t_stop ->
+         let trace = Spice.Transient.run ~t_stop netlist in
+         let name = match tran_node with Some n -> n | None -> fst (List.hd names) in
+         let node = lookup name in
+         let samples = Spice.Transient.node_trace trace node in
+         let times = trace.Spice.Transient.times in
+         let step = max 1 (Array.length times / 20) in
+         Printf.printf "transient of V(%s) over %g s:\n" name t_stop;
+         Array.iteri
+           (fun i t ->
+             if i mod step = 0 then Printf.printf "  %.4g s  %.6g V\n" t samples.(i))
+           times)
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DECK" ~doc:"SPICE deck file.")
+  in
+  let op_nodes =
+    Arg.(value & opt_all string [] & info [ "node" ] ~doc:"Node(s) to report (repeatable).")
+  in
+  let tran =
+    Arg.(value & opt (some float) None
+         & info [ "tran" ] ~docv:"SECONDS" ~doc:"Run a transient instead of the operating point.")
+  in
+  let tran_node =
+    Arg.(value & opt (some string) None
+         & info [ "watch" ] ~doc:"Node to trace during --tran.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Parse a SPICE deck and run an operating point or transient")
+    Term.(const run $ path $ op_nodes $ tran $ tran_node)
+
+let export_cmd =
+  let run dir =
+    let written = Sram_edp.Export.write_all ~dir () in
+    List.iter (fun path -> Printf.printf "wrote %s\n" path) written
+  in
+  let dir =
+    Arg.(value & opt string "results" & info [ "dir"; "o" ] ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write every figure's dataset as CSV files")
+    Term.(const run $ dir)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "sram_opt" ~version:"1.0.0"
+      ~doc:"Device-circuit-architecture co-optimization of SRAM arrays (DAC'16 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ optimize_cmd; sweep_cmd; experiments_cmd; margins_cmd; assist_cmd;
+            anneal_cmd; bank_cmd; retention_cmd; corners_cmd; compare8t_cmd;
+            workload_cmd; validate_cmd; stat_cmd; datasheet_cmd; simulate_cmd; export_cmd ]))

@@ -1,0 +1,1 @@
+examples/assist_explorer.ml: Array Assist Finfet List Printf Sram_edp

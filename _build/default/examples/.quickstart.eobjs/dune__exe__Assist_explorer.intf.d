@@ -1,0 +1,1 @@
+examples/assist_explorer.mli:

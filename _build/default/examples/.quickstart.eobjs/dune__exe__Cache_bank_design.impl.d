@@ -1,0 +1,1 @@
+examples/cache_bank_design.ml: Array_model Finfet List Opt Printf Sram_edp

@@ -1,0 +1,1 @@
+examples/cache_bank_design.mli:

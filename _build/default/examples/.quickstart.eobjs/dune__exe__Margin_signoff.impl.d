@@ -1,0 +1,1 @@
+examples/margin_signoff.ml: Array_model Finfet Lazy List Opt Printf Sram_cell Sram_edp

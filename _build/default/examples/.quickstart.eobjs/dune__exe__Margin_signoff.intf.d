@@ -1,0 +1,1 @@
+examples/margin_signoff.mli:

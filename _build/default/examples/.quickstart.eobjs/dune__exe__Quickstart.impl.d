@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array_model Finfet Opt Printf Sram_edp

@@ -1,0 +1,1 @@
+examples/trace_player.ml: Finfet List Opt Printf Sram_edp Sram_macro Workload

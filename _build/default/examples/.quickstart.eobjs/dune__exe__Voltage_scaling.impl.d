@@ -1,0 +1,1 @@
+examples/voltage_scaling.ml: Array Finfet Lazy Printf Sram_cell Sram_edp

@@ -1,0 +1,54 @@
+(* Trace player: drive a co-optimized SRAM macro with the synthetic
+   workload suite and report what the memory actually consumed.
+
+   This is the integration the library exists for — a system-level
+   simulator instantiates the macro, issues reads/writes, and gets
+   functionally correct data back with per-operation delay and energy.
+
+   Run with: dune exec examples/trace_player.exe *)
+
+let () =
+  let macro =
+    Sram_macro.Macro.create_optimized ~capacity_bits:(4096 * 8)
+      ~flavor:Finfet.Library.Hvt ~method_:Opt.Space.M2 ()
+  in
+  Printf.printf "Macro: %s, %d words x %d bits\n"
+    (Sram_edp.Units.capacity (Sram_macro.Macro.capacity_bits macro))
+    (Sram_macro.Macro.words macro)
+    (Sram_macro.Macro.word_bits macro);
+
+  (* Functional check: the memory is a memory. *)
+  let r1 = Sram_macro.Macro.write macro ~addr:17 ~data:0xDEADBEEFL in
+  let r2 = Sram_macro.Macro.read macro ~addr:17 in
+  Printf.printf "write/read roundtrip @17: %Lx -> %Lx (read costs %s, %s)\n\n"
+    r1.Sram_macro.Macro.data r2.Sram_macro.Macro.data
+    (Sram_edp.Units.ps r2.Sram_macro.Macro.delay)
+    (Sram_edp.Units.fj r2.Sram_macro.Macro.energy);
+
+  (* Play the workload suite. *)
+  let table =
+    Sram_edp.Report.create
+      ~columns:
+        [ "workload"; "ops (r/w/idle)"; "time"; "switching"; "leakage";
+          "total"; "avg power" ]
+  in
+  List.iter
+    (fun (name, profile) ->
+      let trace = Workload.Trace.generate ~seed:42 profile ~length:20_000 in
+      let s = Sram_macro.Macro.run_trace macro trace in
+      Sram_edp.Report.add_row table
+        [ name;
+          Printf.sprintf "%d/%d/%d" s.Sram_macro.Macro.reads
+            s.Sram_macro.Macro.writes s.Sram_macro.Macro.idle_cycles;
+          Printf.sprintf "%.2f us" (s.Sram_macro.Macro.elapsed *. 1e6);
+          Printf.sprintf "%.2f pJ" (s.Sram_macro.Macro.switching_energy *. 1e12);
+          Printf.sprintf "%.2f pJ" (s.Sram_macro.Macro.leakage_energy *. 1e12);
+          Printf.sprintf "%.2f pJ" (s.Sram_macro.Macro.total_energy *. 1e12);
+          Printf.sprintf "%.1f uW"
+            (s.Sram_macro.Macro.total_energy /. s.Sram_macro.Macro.elapsed *. 1e6) ])
+    Workload.Trace.named_profiles;
+  Sram_edp.Report.print ~title:"20,000-cycle traces on the 4KB 6T-HVT-M2 macro" table;
+  print_endline
+    "\nOn the low-activity trace leakage is already a quarter of the HVT\n\
+     macro's energy; with LVT cells that term would be 20x larger and\n\
+     dominate everything — which is the paper's point."

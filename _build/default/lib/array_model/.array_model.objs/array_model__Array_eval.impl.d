@@ -1,0 +1,1 @@
+lib/array_model/array_eval.ml: Caps Components Currents Finfet Gates Geometry Lazy Periphery

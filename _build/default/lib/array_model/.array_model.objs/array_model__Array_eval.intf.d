@@ -1,0 +1,1 @@
+lib/array_model/array_eval.mli: Caps Components Currents Finfet Geometry Periphery

@@ -1,0 +1,1 @@
+lib/array_model/caps.ml: Finfet Gates Geometry

@@ -1,0 +1,1 @@
+lib/array_model/caps.mli: Finfet Geometry

@@ -1,0 +1,1 @@
+lib/array_model/components.ml: Caps Currents Finfet Geometry

@@ -1,0 +1,1 @@
+lib/array_model/components.mli: Caps Currents Geometry

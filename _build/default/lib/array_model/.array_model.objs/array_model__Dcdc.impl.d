@@ -1,0 +1,1 @@
+lib/array_model/dcdc.ml: Array Components Finfet Float List

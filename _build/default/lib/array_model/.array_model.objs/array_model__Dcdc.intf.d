@@ -1,0 +1,1 @@
+lib/array_model/dcdc.mli: Components

@@ -1,0 +1,1 @@
+lib/array_model/periphery.ml: Array Finfet Gates Hashtbl Lazy Numerics Sram_cell

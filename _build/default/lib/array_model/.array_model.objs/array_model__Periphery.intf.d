@@ -1,0 +1,1 @@
+lib/array_model/periphery.mli: Finfet Gates Numerics

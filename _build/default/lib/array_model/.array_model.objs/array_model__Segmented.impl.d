@@ -1,0 +1,1 @@
+lib/array_model/segmented.ml: Array_eval Caps Components Currents Finfet Geometry Periphery Printf

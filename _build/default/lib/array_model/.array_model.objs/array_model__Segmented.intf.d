@@ -1,0 +1,1 @@
+lib/array_model/segmented.mli: Array_eval Caps Components Currents Geometry

@@ -1,0 +1,146 @@
+type accounting = Paper_strict | Physical
+
+type env = {
+  lib : Finfet.Library.t;
+  cell_flavor : Finfet.Library.flavor;
+  currents : Currents.t;
+  periphery : Periphery.t;
+  dcaps : Caps.device_caps;
+  alpha : float;
+  beta : float;
+  dcdc_overhead : float;
+  accounting : accounting;
+}
+
+let make_env ?(alpha = 0.5) ?(beta = 0.5) ?(dcdc_overhead = 1.25)
+    ?(accounting = Paper_strict) ?(read_current_model = `Simulated)
+    ?cell_width_factor ~cell_flavor () =
+  let lib = Lazy.force Finfet.Library.default in
+  let currents = Currents.create ~lib ~cell_flavor ~read_current_model in
+  let periphery = Periphery.shared ~cell_flavor in
+  let dcaps =
+    Caps.device_caps_of ?cell_width_factor
+      ~nfet:(Finfet.Library.nfet lib cell_flavor)
+      ~pfet:(Finfet.Library.pfet lib cell_flavor)
+      ()
+  in
+  { lib; cell_flavor; currents; periphery; dcaps; alpha; beta; dcdc_overhead;
+    accounting }
+
+type metrics = {
+  d_read : float;
+  d_write : float;
+  d_array : float;
+  e_read : float;
+  e_write : float;
+  e_switching : float;
+  e_leakage : float;
+  e_total : float;
+  edp : float;
+  d_bl_read : float;
+  d_row_path_read : float;
+  d_col_path : float;
+}
+
+let vdd = Finfet.Tech.vdd_nominal
+
+let evaluate env (g : Geometry.t) (a : Components.assist) =
+  let open Components in
+  let d = env.dcaps and cur = env.currents and per = env.periphery in
+  let cvdd = Components.cvdd d cur g a in
+  let cvss = Components.cvss d cur g a in
+  let wl_rd = Components.wl_read d cur g a in
+  let wl_wr = Components.wl_write d cur g a in
+  let col = Components.col d cur g a in
+  let bl_rd = Components.bl_read d cur g a in
+  let bl_wr = Components.bl_write d cur g a in
+  let pre_rd = Components.precharge_read d cur g a in
+  let pre_wr = Components.precharge_write d cur g a in
+  let row_dec = Periphery.row_dec per ~bits:(Geometry.row_address_bits g) in
+  let col_dec = Periphery.col_dec per ~bits:(Geometry.column_address_bits g) in
+  (* --- Table 3: delays --- *)
+  let d_row_path_read =
+    row_dec.Gates.Decoder.delay +. per.Periphery.driver_delay +. wl_rd.delay
+  in
+  let d_col_path =
+    if Geometry.has_column_mux g then
+      col_dec.Gates.Decoder.delay +. per.Periphery.driver_delay +. col.delay
+    else 0.0
+  in
+  let d_read =
+    max (d_row_path_read +. bl_rd.delay) d_col_path
+    +. per.Periphery.sense_delay +. pre_rd.delay
+  in
+  let d_write_cell = Periphery.write_delay per ~vwl:a.vwl in
+  let d_row_path_write =
+    row_dec.Gates.Decoder.delay +. per.Periphery.driver_delay +. wl_wr.delay
+  in
+  let d_write =
+    max d_row_path_write (d_col_path +. bl_wr.delay)
+    +. d_write_cell +. pre_wr.delay
+  in
+  let d_array = max d_read d_write in
+  (* --- Table 3: switching energies --- *)
+  let assist_scaled e = env.dcdc_overhead *. e in
+  let e_cvdd = assist_scaled cvdd.energy in
+  let e_cvss = assist_scaled cvss.energy in
+  let e_wl_wr = if a.vwl > vdd then assist_scaled wl_wr.energy else wl_wr.energy in
+  let nc = float_of_int g.Geometry.nc in
+  (* A row narrower than the access width is read/written whole. *)
+  let w = float_of_int (min g.Geometry.w g.Geometry.nc) in
+  let n_unselected = max 0.0 (nc -. w) in
+  let e_read, e_write =
+    match env.accounting with
+    | Paper_strict ->
+      let e_read =
+        row_dec.Gates.Decoder.energy +. per.Periphery.driver_energy
+        +. wl_rd.energy +. bl_rd.energy +. col_dec.Gates.Decoder.energy
+        +. per.Periphery.driver_energy +. col.energy
+        +. per.Periphery.sense_energy +. pre_rd.energy +. e_cvdd +. e_cvss
+      in
+      let e_write =
+        row_dec.Gates.Decoder.energy +. per.Periphery.driver_energy
+        +. wl_wr.energy +. col_dec.Gates.Decoder.energy
+        +. per.Periphery.driver_energy +. col.energy +. bl_wr.energy
+        +. per.Periphery.write_cell_energy +. pre_wr.energy
+      in
+      (e_read, e_write)
+    | Physical ->
+      (* Every cell under the active word line conducts, so all n_c
+         bitlines discharge and are re-precharged on a read; W sense amps
+         evaluate.  A write swings W bitlines rail-to-rail and disturbs
+         the other n_c - W columns by a read-like Delta V_S dip (priced at
+         nominal rails: write operations carry no read assists). *)
+      let c_bl = Caps.bl d g in
+      let disturb = 2.0 *. c_bl *. vdd *. Finfet.Tech.delta_v_sense in
+      let e_read =
+        row_dec.Gates.Decoder.energy +. per.Periphery.driver_energy
+        +. wl_rd.energy
+        +. (nc *. (bl_rd.energy +. pre_rd.energy))
+        +. col_dec.Gates.Decoder.energy +. per.Periphery.driver_energy
+        +. col.energy
+        +. (w *. per.Periphery.sense_energy)
+        +. e_cvdd +. e_cvss
+      in
+      let e_write =
+        row_dec.Gates.Decoder.energy +. per.Periphery.driver_energy
+        +. e_wl_wr +. col_dec.Gates.Decoder.energy
+        +. per.Periphery.driver_energy +. col.energy
+        +. (w *. (bl_wr.energy +. per.Periphery.write_cell_energy +. pre_wr.energy))
+        +. (n_unselected *. disturb)
+      in
+      (e_read, e_write)
+  in
+  (* --- Equations (2)-(5) --- *)
+  let e_switching = (env.beta *. e_read) +. ((1.0 -. env.beta) *. e_write) in
+  let m = float_of_int (Geometry.capacity_bits g) in
+  let e_leakage = m *. per.Periphery.p_leak_cell *. d_array in
+  let e_total = (env.alpha *. e_switching) +. e_leakage in
+  { d_read; d_write; d_array;
+    e_read; e_write; e_switching; e_leakage; e_total;
+    edp = e_total *. d_array;
+    d_bl_read = bl_rd.delay;
+    d_row_path_read;
+    d_col_path }
+
+let edp env g a = (evaluate env g a).edp

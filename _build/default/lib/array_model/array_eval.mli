@@ -1,0 +1,72 @@
+(** Array-level delay and energy — Table 3 and Equations (2)-(5).
+
+    Read:  D_rd = max(row-path + WL + BL, column-path + COL)
+                  + D_sense + D_precharge,rd
+    Write: D_wr = max(row-path + WL_wr, column-path + COL + BL_wr)
+                  + D_write_cell(V_WL) + D_precharge,wr
+
+    D_array = max(D_rd, D_wr)
+    E_sw    = beta E_rd + (1 - beta) E_wr
+    E_leak  = M P_leak,cell D_array
+    E       = alpha E_sw + E_leak
+
+    Two energy-accounting modes are provided:
+    - [`Paper_strict] (default) prices each Table 3 component exactly
+      once, as the table prints them;
+    - [`Physical] multiplies per-bitline components by their
+      multiplicity: all n_c columns discharge and re-precharge on a read
+      (every cell under the active word line conducts), W sense amps fire,
+      W bitlines swing on a write, and the n_c - W unselected columns pay
+      a read-disturb discharge.  The choice is an ablation benchmark. *)
+
+type accounting = Paper_strict | Physical
+
+type env = {
+  lib : Finfet.Library.t;
+  cell_flavor : Finfet.Library.flavor;
+  currents : Currents.t;
+  periphery : Periphery.t;
+  dcaps : Caps.device_caps;
+  alpha : float;           (** array activity factor (paper: 0.5) *)
+  beta : float;            (** read fraction of accesses (paper: 0.5) *)
+  dcdc_overhead : float;   (** assist-rail energy scaling for DC-DC
+                               inefficiency (paper: unspecified; 1.25) *)
+  accounting : accounting;
+}
+
+val make_env :
+  ?alpha:float ->
+  ?beta:float ->
+  ?dcdc_overhead:float ->
+  ?accounting:accounting ->
+  ?read_current_model:
+    [ `Simulated | `Paper_fit | `Custom of vddc:float -> vssc:float -> float ] ->
+  ?cell_width_factor:float ->
+  cell_flavor:Finfet.Library.flavor ->
+  unit ->
+  env
+(** Environment against the default calibrated library with memoized
+    periphery characterization.  [cell_width_factor] scales the cell
+    footprint's wire capacitances (1.0 = the 6T layout);
+    [`Custom] supplies an alternative read-current model (used by the 8T
+    comparison study, whose read stack differs from the 6T one). *)
+
+type metrics = {
+  d_read : float;
+  d_write : float;
+  d_array : float;          (** Equation (2) *)
+  e_read : float;           (** E_sw,rd, one access *)
+  e_write : float;          (** E_sw,wr, one access *)
+  e_switching : float;      (** Equation (3) *)
+  e_leakage : float;        (** Equation (4) *)
+  e_total : float;          (** Equation (5) *)
+  edp : float;              (** e_total x d_array, the objective *)
+  d_bl_read : float;        (** bitline discharge term (Figure 7(d)) *)
+  d_row_path_read : float;  (** decoder + driver + WL for the read *)
+  d_col_path : float;       (** column decoder + driver + COL *)
+}
+
+val evaluate : env -> Geometry.t -> Components.assist -> metrics
+
+val edp : env -> Geometry.t -> Components.assist -> float
+(** Shortcut for the optimizer's objective. *)

@@ -1,0 +1,49 @@
+type device_caps = {
+  c_dn : float;
+  c_dp : float;
+  c_gn : float;
+  c_gp : float;
+  c_width : float;
+  c_height : float;
+}
+
+let device_caps_of ?(cell_width_factor = 1.0) ~nfet ~pfet () =
+  { c_dn = nfet.Finfet.Device.c_drain;
+    c_dp = pfet.Finfet.Device.c_drain;
+    c_gn = nfet.Finfet.Device.c_gate;
+    c_gp = pfet.Finfet.Device.c_gate;
+    c_width = cell_width_factor *. Finfet.Tech.c_width;
+    c_height = cell_width_factor *. Finfet.Tech.c_height }
+
+let rail_fins = float_of_int Gates.Superbuffer.rail_driver_fins
+let wl_fins = float_of_int Gates.Superbuffer.wl_driver_fins
+
+let cvdd d (g : Geometry.t) =
+  (float_of_int g.Geometry.nc *. (d.c_width +. (2.0 *. d.c_dp)))
+  +. (2.0 *. rail_fins *. d.c_dp)
+
+let cvss d (g : Geometry.t) =
+  (float_of_int g.Geometry.nc *. (d.c_width +. (2.0 *. d.c_dn)))
+  +. (2.0 *. rail_fins *. d.c_dn)
+
+let wl d (g : Geometry.t) =
+  (float_of_int g.Geometry.nc *. (d.c_width +. (2.0 *. d.c_gn)))
+  +. (wl_fins *. (d.c_dn +. d.c_dp))
+
+let col d (g : Geometry.t) =
+  if not (Geometry.has_column_mux g) then 0.0
+  else
+    (float_of_int g.Geometry.nc *. d.c_width)
+    +. (wl_fins *. (d.c_dn +. d.c_dp))
+    +. (2.0 *. float_of_int g.Geometry.w *. float_of_int g.Geometry.n_wr
+        *. (d.c_gn +. d.c_gp))
+
+let bl d (g : Geometry.t) =
+  let base =
+    (float_of_int g.Geometry.nr *. (d.c_height +. d.c_dn))
+    +. (float_of_int (g.Geometry.n_pre + 1) *. d.c_dp)
+  in
+  if not (Geometry.has_column_mux g) then
+    base +. (float_of_int g.Geometry.n_wr *. (d.c_dn +. d.c_dp)) +. d.c_dp
+  else
+    base +. (2.0 *. float_of_int g.Geometry.n_wr *. (d.c_dn +. d.c_dp))

@@ -1,0 +1,45 @@
+(** Interconnect capacitances of the array — Table 1 of the paper.
+
+    Wire components use the layout-derived per-cell values C_width and
+    C_height; device components use the drain/gate capacitances of the
+    single-fin cell transistors (C_dn, C_dp, C_gn, C_gp).  The constants
+    2 x 20 (rail mux drivers) and 27 (last WL/COL driver stage) are the
+    paper's sizing choices, re-exported from {!Gates.Superbuffer}.
+
+    The per-cell wire capacitances default to the 6T layout of
+    {!Finfet.Tech} but are carried in {!device_caps} so larger cells
+    (e.g. the 8T comparison study) can scale them. *)
+
+type device_caps = {
+  c_dn : float;      (** n-channel drain cap per fin *)
+  c_dp : float;      (** p-channel drain cap per fin *)
+  c_gn : float;      (** n-channel gate cap per fin *)
+  c_gp : float;      (** p-channel gate cap per fin *)
+  c_width : float;   (** wire capacitance across one cell width *)
+  c_height : float;  (** wire capacitance across one cell height *)
+}
+
+val device_caps_of :
+  ?cell_width_factor:float ->
+  nfet:Finfet.Device.params -> pfet:Finfet.Device.params -> unit -> device_caps
+(** [cell_width_factor] scales the 6T cell footprint (both width and
+    height wire caps); default 1.0.  An 8T cell is typically ~1.3x. *)
+
+val cvdd : device_caps -> Geometry.t -> float
+(** C_CVDD = n_c (C_width + 2 C_dp) + 2*20*C_dp. *)
+
+val cvss : device_caps -> Geometry.t -> float
+(** C_CVSS = n_c (C_width + 2 C_dn) + 2*20*C_dn. *)
+
+val wl : device_caps -> Geometry.t -> float
+(** C_WL = n_c (C_width + 2 C_gn) + 27 (C_dn + C_dp). *)
+
+val col : device_caps -> Geometry.t -> float
+(** C_COL: 0 without a column mux, else
+    n_c C_width + 27 (C_dn + C_dp) + 2 W N_wr (C_gn + C_gp). *)
+
+val bl : device_caps -> Geometry.t -> float
+(** C_BL: n_r (C_height + C_dn) + (N_pre + 1) C_dp + the write-path drains
+    — one transmission gate plus the precharge-equalizer PFET when
+    n_c <= W, two series transmission gates when the column mux is
+    present. *)

@@ -1,0 +1,28 @@
+(** Interconnect delay / switching-energy components — Table 2 of the
+    paper, evaluated through Equation (1):
+
+      D = C dV / I        E_sw = C V dV
+
+    with C from {!Caps}, I from {!Currents}, and (V, dV) per the table's
+    rows.  Components with zero voltage change cost nothing. *)
+
+type de = { delay : float; energy : float }
+
+type assist = {
+  vddc : float;  (** read-assist cell supply (Vdd boost level) *)
+  vssc : float;  (** read-assist cell ground (negative, or 0) *)
+  vwl : float;   (** write-assist wordline level (WL overdrive) *)
+}
+
+val no_assist : assist
+(** All rails at nominal: vddc = vdd, vssc = 0, vwl = vdd. *)
+
+val cvdd : Caps.device_caps -> Currents.t -> Geometry.t -> assist -> de
+val cvss : Caps.device_caps -> Currents.t -> Geometry.t -> assist -> de
+val wl_read : Caps.device_caps -> Currents.t -> Geometry.t -> assist -> de
+val wl_write : Caps.device_caps -> Currents.t -> Geometry.t -> assist -> de
+val col : Caps.device_caps -> Currents.t -> Geometry.t -> assist -> de
+val bl_read : Caps.device_caps -> Currents.t -> Geometry.t -> assist -> de
+val bl_write : Caps.device_caps -> Currents.t -> Geometry.t -> assist -> de
+val precharge_read : Caps.device_caps -> Currents.t -> Geometry.t -> assist -> de
+val precharge_write : Caps.device_caps -> Currents.t -> Geometry.t -> assist -> de

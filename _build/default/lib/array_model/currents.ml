@@ -1,0 +1,62 @@
+type t = {
+  nfet_per : Finfet.Device.params;  (* LVT periphery devices *)
+  pfet_per : Finfet.Device.params;
+  lib : Finfet.Library.t;
+  cell_flavor : Finfet.Library.flavor;
+  read_current_model :
+    [ `Simulated | `Paper_fit | `Custom of vddc:float -> vssc:float -> float ];
+  read_cache : (float * float, float) Hashtbl.t;
+}
+
+let create ~lib ~cell_flavor ~read_current_model =
+  { nfet_per = Finfet.Library.nfet lib Finfet.Library.Lvt;
+    pfet_per = Finfet.Library.pfet lib Finfet.Library.Lvt;
+    lib;
+    cell_flavor;
+    read_current_model;
+    read_cache = Hashtbl.create 64 }
+
+let vdd = Finfet.Tech.vdd_nominal
+
+let i_on_pfet t = Finfet.Device.i_on t.pfet_per ()
+
+let i_on_tg t =
+  Finfet.Device.ids t.nfet_per ~vgs:vdd ~vds:(0.5 *. vdd)
+  +. Finfet.Device.ids t.pfet_per ~vgs:vdd ~vds:(0.5 *. vdd)
+
+let rail_fins = float_of_int Gates.Superbuffer.rail_driver_fins
+let wl_fins = float_of_int Gates.Superbuffer.wl_driver_fins
+
+let cvdd_driver t ~vddc =
+  (* PFET mux pulling the row's supply rail up to the boosted level. *)
+  0.30 *. rail_fins *. Finfet.Device.ids t.pfet_per ~vgs:vddc ~vds:vddc
+
+let cvss_driver t ~vssc =
+  (* NFET mux pulling the row's ground rail down to the negative level;
+     its gate drive spans vdd - vssc, its available swing |vssc|. *)
+  let swing = max (-.vssc) 0.02 in
+  0.15 *. rail_fins *. Finfet.Device.ids t.nfet_per ~vgs:(vdd -. vssc) ~vds:swing
+
+let wl_read t = 0.25 *. wl_fins *. i_on_pfet t
+
+let wl_write t ~vwl =
+  0.18 *. wl_fins *. Finfet.Device.ids t.pfet_per ~vgs:vwl ~vds:vwl
+
+let col_driver t = 0.33 *. wl_fins *. i_on_pfet t
+
+let bl_write t ~n_wr = 0.50 *. float_of_int n_wr *. i_on_tg t
+
+let precharge t ~n_pre = 0.50 *. float_of_int n_pre *. i_on_pfet t
+
+let read_current t ~vddc ~vssc =
+  match t.read_current_model with
+  | `Paper_fit -> Finfet.Calibration.paper_read_current ~vddc ~vssc
+  | `Custom f -> f ~vddc ~vssc
+  | `Simulated ->
+    let key = (vddc, vssc) in
+    (match Hashtbl.find_opt t.read_cache key with
+     | Some i -> i
+     | None ->
+       let i = Finfet.Library.i_read t.lib t.cell_flavor ~vddc ~vssc in
+       Hashtbl.add t.read_cache key i;
+       i)

@@ -1,0 +1,37 @@
+let ratios = [| 1.0 /. 3.0; 0.5; 2.0 /. 3.0; 1.0; 4.0 /. 3.0; 1.5; 2.0 |]
+
+let intrinsic_loss = 0.05
+
+let efficiency ?(v_in = Finfet.Tech.vdd_nominal) ~v_out () =
+  assert (v_in > 0.0);
+  let target = abs_float v_out in
+  if target = 0.0 then 1.0
+  else if abs_float (target -. v_in) < 1e-9 then 1.0
+  else begin
+    (* Smallest available ratio able to source the target; an SC converter
+       regulated below its ideal output wastes the difference linearly. *)
+    let best = ref infinity in
+    Array.iter
+      (fun r ->
+        let v_ideal = r *. v_in in
+        if v_ideal >= target -. 1e-12 && v_ideal < !best then best := v_ideal)
+      ratios;
+    if Float.is_finite !best then
+      (1.0 -. intrinsic_loss) *. (target /. !best)
+    else
+      (* Beyond the ratio set: cascade two stages, each with its loss. *)
+      (1.0 -. intrinsic_loss) ** 2.0
+  end
+
+let overhead ?v_in ~v_out () = 1.0 /. efficiency ?v_in ~v_out ()
+
+let assist_overhead (a : Components.assist) =
+  let vdd = Finfet.Tech.vdd_nominal in
+  let candidates =
+    List.filter_map
+      (fun v -> if abs_float (v -. vdd) < 1e-9 || v = 0.0 then None else Some v)
+      [ a.Components.vddc; a.Components.vssc; a.Components.vwl ]
+  in
+  List.fold_left
+    (fun acc v -> max acc (overhead ~v_out:v ()))
+    1.0 candidates

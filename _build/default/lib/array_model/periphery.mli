@@ -1,0 +1,49 @@
+(** Characterized peripheral-circuit look-up tables.
+
+    The paper: "delays and energy consumptions of decoder, driver, sense
+    amplifier, and cell-level write are measured by SPICE simulations, and
+    those with dependencies on a variable are stored in look-up tables."
+    This module generates those LUTs from our substrates: logical-effort
+    models for decoders/drivers, the analytic latch model for the sense
+    amplifier, and cell transient simulation for the write delay as a
+    function of V_WL. *)
+
+type t = {
+  row_decoder : Gates.Decoder.result array;
+      (** indexed by address bits 0..max_bits *)
+  col_decoder : Gates.Decoder.result array;
+  driver_delay : float;   (** D_row_drv = D_col_drv: first three superbuffer stages *)
+  driver_energy : float;
+  sense_delay : float;    (** D_sense_amp at the configured Delta V_S *)
+  sense_energy : float;
+  write_cell_delay : Numerics.Interp.Table1d.t;
+      (** D_write_sram as a function of V_WL (seconds vs volts) *)
+  write_cell_energy : float;
+  p_leak_cell : float;    (** watts per cell, hold state at nominal Vdd *)
+}
+
+val max_address_bits : int
+(** 14 — covers n_r up to 1024 (the paper's range) and the much wider
+    column spaces that appear when large capacities are evaluated as a
+    single bank. *)
+
+val characterize :
+  ?delta_vs:float ->
+  lib:Finfet.Library.t ->
+  cell_flavor:Finfet.Library.flavor ->
+  unit ->
+  t
+(** Build all tables for a cell flavor (periphery is always LVT).  The
+    write-delay table runs one transient per V_WL grid point; results are
+    not cached here — callers should reuse the returned value (see
+    {!shared}). *)
+
+val shared : cell_flavor:Finfet.Library.flavor -> t
+(** Memoized characterization against the default device library at the
+    default Delta V_S. *)
+
+val row_dec : t -> bits:int -> Gates.Decoder.result
+val col_dec : t -> bits:int -> Gates.Decoder.result
+
+val write_delay : t -> vwl:float -> float
+(** Table lookup, clamped to the characterized V_WL range. *)

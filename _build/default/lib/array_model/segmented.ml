@@ -1,0 +1,102 @@
+let local_driver_fins = 9
+
+type wl_breakdown = {
+  segments : int;
+  c_global : float;
+  c_local : float;
+  d_global : float;
+  d_local : float;
+  d_total : float;
+  e_read : float;
+  e_write : float;
+}
+
+let natural_segments (g : Geometry.t) = g.Geometry.nc / min g.Geometry.w g.Geometry.nc
+
+let wl d cur (g : Geometry.t) (a : Components.assist) ~segments =
+  let max_segments = natural_segments g in
+  if segments < 1 || segments > max_segments || g.Geometry.nc mod segments <> 0
+  then
+    invalid_arg
+      (Printf.sprintf "Segmented.wl: segments must divide n_c into >= W-cell groups (1..%d)"
+         max_segments);
+  let vdd = Finfet.Tech.vdd_nominal in
+  let cells_per_segment = g.Geometry.nc / segments in
+  (* Local driver input capacitance: a [local_driver_fins] inverter. *)
+  let c_gn = d.Caps.c_gn and c_gp = d.Caps.c_gp in
+  let c_dn = d.Caps.c_dn and c_dp = d.Caps.c_dp in
+  let driver_in = float_of_int local_driver_fins *. (c_gn +. c_gp) in
+  let driver_out = float_of_int local_driver_fins *. (c_dn +. c_dp) in
+  (* Global line: the full row's wire plus one driver input per segment,
+     still driven by the 27-fin last superbuffer stage. *)
+  let c_global =
+    (float_of_int g.Geometry.nc *. d.Caps.c_width)
+    +. (float_of_int segments *. driver_in)
+    +. (27.0 *. (c_dn +. c_dp))
+  in
+  (* Local line: the segment's cells (wire + access gates) plus its own
+     driver's drain. *)
+  let c_local =
+    (float_of_int cells_per_segment *. (d.Caps.c_width +. (2.0 *. c_gn)))
+    +. driver_out
+  in
+  let i_global = Currents.wl_read cur in
+  let i_local =
+    Currents.wl_read cur *. float_of_int local_driver_fins /. 27.0
+  in
+  let d_global = c_global *. vdd /. i_global in
+  let d_local = c_local *. vdd /. i_local in
+  { segments;
+    c_global;
+    c_local;
+    d_global;
+    d_local;
+    d_total = d_global +. d_local;
+    e_read = (c_global +. c_local) *. vdd *. vdd;
+    e_write = (c_global +. c_local) *. vdd *. a.Components.vwl }
+
+let evaluate env (g : Geometry.t) (a : Components.assist) ~segments =
+  let base = Array_eval.evaluate env g a in
+  let d = env.Array_eval.dcaps in
+  let cur = env.Array_eval.currents in
+  let flat_read = Components.wl_read d cur g a in
+  let flat_write = Components.wl_write d cur g a in
+  let seg = wl d cur g a ~segments in
+  (* Swap the WL terms in the read/write delay and energy sums.  The flat
+     WL sits on the row critical path of both operations; the write WL
+     delay uses the overdriven drive level, so scale the segmented delay
+     by the same ratio the flat model exhibits. *)
+  let write_scale =
+    if flat_read.Components.delay > 0.0 then
+      flat_write.Components.delay /. flat_read.Components.delay
+    else 1.0
+  in
+  let d_read = base.Array_eval.d_read -. flat_read.Components.delay +. seg.d_total in
+  let d_write =
+    base.Array_eval.d_write
+    -. flat_write.Components.delay
+    +. (seg.d_total *. write_scale)
+  in
+  let d_array = max d_read d_write in
+  let e_read = base.Array_eval.e_read -. flat_read.Components.energy +. seg.e_read in
+  let e_write =
+    base.Array_eval.e_write -. flat_write.Components.energy +. seg.e_write
+  in
+  let e_switching =
+    (env.Array_eval.beta *. e_read) +. ((1.0 -. env.Array_eval.beta) *. e_write)
+  in
+  let m = float_of_int (Geometry.capacity_bits g) in
+  let e_leakage =
+    m *. env.Array_eval.periphery.Periphery.p_leak_cell *. d_array
+  in
+  let e_total = (env.Array_eval.alpha *. e_switching) +. e_leakage in
+  { base with
+    Array_eval.d_read;
+    d_write;
+    d_array;
+    e_read;
+    e_write;
+    e_switching;
+    e_leakage;
+    e_total;
+    edp = e_total *. d_array }

@@ -1,0 +1,1 @@
+lib/assist/sweep.ml: Array Array_model Finfet Lazy Sram_cell Technique

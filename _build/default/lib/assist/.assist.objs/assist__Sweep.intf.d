@@ -1,0 +1,1 @@
+lib/assist/sweep.mli: Array_model Finfet Technique

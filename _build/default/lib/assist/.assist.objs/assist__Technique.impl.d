@@ -1,0 +1,1 @@
+lib/assist/technique.ml: Array Finfet Float Sram_cell

@@ -1,0 +1,1 @@
+lib/assist/technique.mli: Sram_cell

@@ -1,0 +1,1 @@
+lib/cache/banked.ml: Array_model Htree List Opt

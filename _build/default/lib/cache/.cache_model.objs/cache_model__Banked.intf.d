@@ -1,0 +1,1 @@
+lib/cache/banked.mli: Array_model Opt

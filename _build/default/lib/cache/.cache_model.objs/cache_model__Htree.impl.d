@@ -1,0 +1,1 @@
+lib/cache/htree.ml: Finfet Gates

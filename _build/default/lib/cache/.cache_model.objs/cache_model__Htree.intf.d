@@ -1,0 +1,1 @@
+lib/cache/htree.mli: Finfet

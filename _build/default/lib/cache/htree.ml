@@ -1,0 +1,32 @@
+type t = {
+  delay_per_m : float;
+  energy_per_m : float;
+  repeater_overhead : float;
+}
+
+let of_technology ~lib =
+  let nfet = Finfet.Library.nfet lib Finfet.Library.Lvt in
+  let pfet = Finfet.Library.pfet lib Finfet.Library.Lvt in
+  let r_w = Finfet.Tech.r_wire_per_m in
+  let c_w = Finfet.Tech.c_wire_per_m in
+  (* Single-fin repeater drive and load; the optimal-repeater delay is
+     invariant to the chosen size. *)
+  let r_rep = max (Gates.Logical_effort.r_eff nfet) (Gates.Logical_effort.r_eff pfet) in
+  let c_rep =
+    nfet.Finfet.Device.c_gate +. pfet.Finfet.Device.c_gate
+    +. nfet.Finfet.Device.c_drain +. pfet.Finfet.Device.c_drain
+  in
+  let repeater_overhead = 0.4 in
+  { delay_per_m = 2.0 *. sqrt (r_w *. c_w *. r_rep *. c_rep);
+    energy_per_m =
+      (1.0 +. repeater_overhead) *. c_w *. Finfet.Tech.vdd_nominal
+      *. Finfet.Tech.vdd_nominal;
+    repeater_overhead }
+
+let route_length ~total_area =
+  assert (total_area >= 0.0);
+  sqrt total_area
+
+let delay t ~length = t.delay_per_m *. length
+
+let energy t ~length = t.energy_per_m *. length

@@ -1,0 +1,27 @@
+(** Repeatered global interconnect for banked memories.
+
+    Banks are reached over an H-tree; each route is a repeatered wire whose
+    delay per unit length is the classic optimum
+    2 sqrt(R'_w C'_w R_rep C_rep) — independent of the repeater size once
+    segments are sized optimally — and whose energy per unit length is the
+    wire charge plus a repeater-capacitance overhead.  Technology constants
+    come from {!Finfet.Tech}; the repeater device is the LVT inverter. *)
+
+type t = {
+  delay_per_m : float;   (** s/m of optimally repeatered wire *)
+  energy_per_m : float;  (** J/m per full-swing transition *)
+  repeater_overhead : float;  (** fraction of wire cap added by repeaters *)
+}
+
+val of_technology : lib:Finfet.Library.t -> t
+
+val route_length : total_area:float -> float
+(** Root-to-leaf route length of an H-tree over a layout of the given
+    area: the half-perimeter of the square equivalent,
+    sqrt(area) (geometric series of the H-tree segment lengths). *)
+
+val delay : t -> length:float -> float
+
+val energy : t -> length:float -> float
+(** One address/data transition over the route.  Callers scale by the
+    number of toggling wires (address + data bus width). *)

@@ -1,0 +1,1 @@
+lib/core/ascii_plot.mli:

@@ -1,0 +1,1 @@
+lib/core/datasheet.ml: Array_model Buffer Finfet Framework Gates Lazy List Printf Sram_cell String Units

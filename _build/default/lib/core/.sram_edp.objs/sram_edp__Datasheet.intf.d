@@ -1,0 +1,1 @@
+lib/core/datasheet.mli: Array_model Framework Sram_cell

@@ -1,0 +1,1 @@
+lib/core/eight_t.ml: Array_model Finfet Framework Lazy List Opt Printf Report Sram_cell Units

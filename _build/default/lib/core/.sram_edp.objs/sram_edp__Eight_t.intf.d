@@ -1,0 +1,1 @@
+lib/core/eight_t.mli: Array_model Opt

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Array_model Ascii_plot Assist Finfet Framework Lazy List Opt Printf Report Sram_cell Units

@@ -1,0 +1,1 @@
+lib/core/export.ml: Array Assist Buffer Experiments Filename Framework List Printf String Sys

@@ -1,0 +1,1 @@
+lib/core/framework.ml: Array_model Finfet Hashtbl List Opt Printf

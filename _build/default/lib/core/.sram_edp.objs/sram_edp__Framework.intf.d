@@ -1,0 +1,1 @@
+lib/core/framework.mli: Array_model Finfet Opt

@@ -1,0 +1,1 @@
+lib/core/json_out.ml: Array_model Buffer Char Experiments Float Framework List Printf String

@@ -1,0 +1,139 @@
+type t = {
+  title : string;
+  organization : string;
+  rails : (string * float) list;
+  margins : (string * float) list;
+  timing : (string * float) list;
+  energy : (string * float) list;
+  summary : Array_model.Array_eval.metrics;
+  area : float;
+  aspect_ratio : float;
+  bl_check : Sram_cell.Column.result;
+}
+
+let build (o : Framework.optimized) =
+  let g = Framework.geometry o in
+  let a = Framework.assist o in
+  let flavor = o.Framework.config.Framework.flavor in
+  let env = Array_model.Array_eval.make_env ~cell_flavor:flavor () in
+  let m = Array_model.Array_eval.evaluate env g a in
+  let d = env.Array_model.Array_eval.dcaps in
+  let cur = env.Array_model.Array_eval.currents in
+  let per = env.Array_model.Array_eval.periphery in
+  let lib = Lazy.force Finfet.Library.default in
+  let cell =
+    Finfet.Variation.nominal_cell
+      ~nfet:(Finfet.Library.nfet lib flavor)
+      ~pfet:(Finfet.Library.pfet lib flavor)
+  in
+  let vddc = a.Array_model.Components.vddc in
+  let vssc = a.Array_model.Components.vssc in
+  let vwl = a.Array_model.Components.vwl in
+  let margins =
+    [ ("HSNM @ nominal",
+       Sram_cell.Margins.hold_snm ~points:61 ~cell Finfet.Tech.vdd_nominal);
+      ("RSNM @ rails",
+       Sram_cell.Margins.read_snm ~points:61 ~cell
+         (Sram_cell.Sram6t.read ~vddc ~vssc ()));
+      ("WM @ rails",
+       Sram_cell.Margins.write_margin ~cell (Sram_cell.Sram6t.write0 ~vwl ())) ]
+  in
+  let de f = f d cur g a in
+  let timing =
+    let row_dec =
+      Array_model.Periphery.row_dec per ~bits:(Array_model.Geometry.row_address_bits g)
+    in
+    let col_dec =
+      Array_model.Periphery.col_dec per ~bits:(Array_model.Geometry.column_address_bits g)
+    in
+    [ ("row decoder", row_dec.Gates.Decoder.delay);
+      ("WL driver (first stages)", per.Array_model.Periphery.driver_delay);
+      ("wordline", (de Array_model.Components.wl_read).Array_model.Components.delay);
+      ("bitline discharge", (de Array_model.Components.bl_read).Array_model.Components.delay);
+      ("column decoder", col_dec.Gates.Decoder.delay);
+      ("column select", (de Array_model.Components.col).Array_model.Components.delay);
+      ("sense amplifier", per.Array_model.Periphery.sense_delay);
+      ("precharge (read)", (de Array_model.Components.precharge_read).Array_model.Components.delay);
+      ("cell write", Array_model.Periphery.write_delay per ~vwl);
+      ("BL write", (de Array_model.Components.bl_write).Array_model.Components.delay) ]
+  in
+  let energy =
+    let row_dec =
+      Array_model.Periphery.row_dec per ~bits:(Array_model.Geometry.row_address_bits g)
+    in
+    [ ("row decoder", row_dec.Gates.Decoder.energy);
+      ("WL driver", per.Array_model.Periphery.driver_energy);
+      ("wordline", (de Array_model.Components.wl_read).Array_model.Components.energy);
+      ("bitline", (de Array_model.Components.bl_read).Array_model.Components.energy);
+      ("sense amplifier", per.Array_model.Periphery.sense_energy);
+      ("precharge", (de Array_model.Components.precharge_read).Array_model.Components.energy);
+      ("CVDD boost rail", (de Array_model.Components.cvdd).Array_model.Components.energy);
+      ("CVSS negative rail", (de Array_model.Components.cvss).Array_model.Components.energy) ]
+  in
+  let column =
+    { Sram_cell.Column.default_config with
+      Sram_cell.Column.nr = g.Array_model.Geometry.nr;
+      n_pre = g.Array_model.Geometry.n_pre;
+      n_wr = g.Array_model.Geometry.n_wr }
+  in
+  let bl_check =
+    Sram_cell.Column.validate ~cell column (Sram_cell.Sram6t.read ~vddc ~vssc ())
+  in
+  { title =
+      Printf.sprintf "%s %s"
+        (Units.capacity o.Framework.capacity_bits)
+        (Framework.config_name o.Framework.config);
+    organization =
+      Printf.sprintf "%d rows x %d columns, W = %d bits, N_pre = %d, N_wr = %d"
+        g.Array_model.Geometry.nr g.Array_model.Geometry.nc
+        g.Array_model.Geometry.w g.Array_model.Geometry.n_pre
+        g.Array_model.Geometry.n_wr;
+    rails = [ ("V_DDC", vddc); ("V_SSC", vssc); ("V_WL", vwl) ];
+    margins;
+    timing;
+    energy;
+    summary = m;
+    area = Array_model.Geometry.area g;
+    aspect_ratio = Array_model.Geometry.aspect_ratio g;
+    bl_check }
+
+let to_string t =
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%s" t.title;
+  line "%s" (String.make (String.length t.title) '=');
+  line "organization : %s" t.organization;
+  line "area         : %.1f um^2 (aspect %.2f)" (t.area *. 1e12) t.aspect_ratio;
+  line "";
+  line "Rails";
+  List.iter (fun (name, v) -> line "  %-22s %s" name (Units.mv v)) t.rails;
+  line "";
+  line "Margins at the rails (requirement %s)" (Units.mv Finfet.Tech.min_margin);
+  List.iter
+    (fun (name, v) ->
+      line "  %-22s %s %s" name (Units.mv v)
+        (if v >= Finfet.Tech.min_margin then "(pass)" else "(FAIL)"))
+    t.margins;
+  line "";
+  line "Timing breakdown";
+  List.iter (fun (name, v) -> line "  %-22s %s" name (Units.ps v)) t.timing;
+  line "  %-22s %s" "read access" (Units.ps t.summary.Array_model.Array_eval.d_read);
+  line "  %-22s %s" "write access" (Units.ps t.summary.Array_model.Array_eval.d_write);
+  line "  %-22s %s" "cycle (max)" (Units.ps t.summary.Array_model.Array_eval.d_array);
+  line "";
+  line "Read-access energy breakdown";
+  List.iter (fun (name, v) -> line "  %-22s %s" name (Units.fj v)) t.energy;
+  line "  %-22s %s" "switching (Eq. 3)"
+    (Units.fj t.summary.Array_model.Array_eval.e_switching);
+  line "  %-22s %s" "leakage (Eq. 4)"
+    (Units.fj t.summary.Array_model.Array_eval.e_leakage);
+  line "  %-22s %s" "total (Eq. 5)" (Units.fj t.summary.Array_model.Array_eval.e_total);
+  line "";
+  line "EDP          : %.4g Js" t.summary.Array_model.Array_eval.edp;
+  line "BL spot check: analytic %s vs transient %s (%s)"
+    (Units.ps t.bl_check.Sram_cell.Column.analytic)
+    (Units.ps t.bl_check.Sram_cell.Column.simulated)
+    (Units.percent t.bl_check.Sram_cell.Column.relative_error);
+  Buffer.contents buf
+
+let print o = print_string (to_string (build o))

@@ -1,0 +1,87 @@
+let cell () = Sram_cell.Sram8t.of_library (Lazy.force Finfet.Library.default) Finfet.Library.Lvt
+
+let env () =
+  let eight = cell () in
+  let read_current ~vddc:_ ~vssc =
+    Sram_cell.Sram8t.read_current eight ~vssc ()
+  in
+  Array_model.Array_eval.make_env
+    ~read_current_model:(`Custom read_current)
+    ~cell_width_factor:Sram_cell.Sram8t.area_factor
+    ~cell_flavor:Finfet.Library.Lvt ()
+
+let yield_levels () =
+  let six_t_lvt = Opt.Yield.solve ~flavor:Finfet.Library.Lvt () in
+  let eight = cell () in
+  { Opt.Yield.vddc_min = Finfet.Tech.vdd_nominal; (* RSNM = HSNM >= delta already *)
+    vwl_min = six_t_lvt.Opt.Yield.vwl_min;        (* same 6T write port *)
+    hsnm_nominal =
+      Sram_cell.Sram8t.hold_snm eight ~vdd:Finfet.Tech.vdd_nominal }
+
+let optimize ~capacity_bits =
+  Opt.Exhaustive.search ~levels:(yield_levels ()) ~env:(env ()) ~capacity_bits
+    ~method_:Opt.Space.M2 ()
+
+type comparison_row = {
+  name : string;
+  d_array : float;
+  e_total : float;
+  edp : float;
+  area : float;
+  leakage_per_cell : float;
+}
+
+let row_of_metrics ~name ~area_factor ~leakage_per_cell
+    (result : Opt.Exhaustive.result) =
+  let best = result.Opt.Exhaustive.best in
+  let m = best.Opt.Exhaustive.metrics in
+  { name;
+    d_array = m.Array_model.Array_eval.d_array;
+    e_total = m.Array_model.Array_eval.e_total;
+    edp = m.Array_model.Array_eval.edp;
+    area = area_factor *. Array_model.Geometry.area best.Opt.Exhaustive.geometry;
+    leakage_per_cell }
+
+let compare ~capacity_bits =
+  let six name flavor =
+    let o =
+      Framework.optimize ~capacity_bits
+        ~config:{ Framework.flavor; method_ = Opt.Space.M2 }
+        ()
+    in
+    let per = Array_model.Periphery.shared ~cell_flavor:flavor in
+    row_of_metrics ~name ~area_factor:1.0
+      ~leakage_per_cell:per.Array_model.Periphery.p_leak_cell
+      o.Framework.result
+  in
+  let eight =
+    row_of_metrics ~name:"8T-LVT" ~area_factor:Sram_cell.Sram8t.area_factor
+      ~leakage_per_cell:(Sram_cell.Sram8t.leakage_power (cell ()))
+      (optimize ~capacity_bits)
+  in
+  [ six "6T-LVT-M2" Finfet.Library.Lvt;
+    six "6T-HVT-M2" Finfet.Library.Hvt;
+    eight ]
+
+let print_comparison ~capacity_bits =
+  let rows = compare ~capacity_bits in
+  let table =
+    Report.create
+      ~columns:[ "cell"; "delay"; "energy"; "EDP"; "array area"; "leak/cell" ]
+  in
+  List.iter
+    (fun r ->
+      Report.add_row table
+        [ r.name;
+          Units.ps r.d_array;
+          Units.fj r.e_total;
+          Printf.sprintf "%.3g Js" r.edp;
+          Printf.sprintf "%.1f um^2" (r.area *. 1e12);
+          Units.nw r.leakage_per_cell ])
+    rows;
+  Report.print
+    ~title:
+      (Printf.sprintf
+         "8T-LVT vs the paper's 6T designs at %s (decoupled read port vs HVT + assists)"
+         (Units.capacity capacity_bits))
+    table

@@ -1,0 +1,37 @@
+(** CSV export of the experiment datasets, for external plotting.
+
+    Each figure's series goes to one file with a header row; the CLI's
+    [export] command writes the whole set into a directory.  CSV quoting
+    follows RFC 4180 (fields containing commas, quotes or newlines are
+    quoted; quotes double). *)
+
+val csv_field : string -> string
+(** Quote one field if needed. *)
+
+val csv_line : string list -> string
+(** One joined, newline-terminated row. *)
+
+type file = {
+  filename : string;      (** e.g. "fig2b_leakage.csv" *)
+  header : string list;
+  rows : string list list;
+}
+
+val render : file -> string
+
+val fig2_files : unit -> file list
+(** fig2a_hsnm.csv and fig2b_leakage.csv. *)
+
+val fig3_files : unit -> file list
+(** One file per read-assist technique. *)
+
+val fig5_files : unit -> file list
+
+val fig7_file : unit -> file
+(** The full design table (Table 4 + Figure 7 metrics). *)
+
+val all_files : unit -> file list
+
+val write_all : dir:string -> unit -> string list
+(** Render every dataset into [dir] (created if missing); returns the
+    paths written. *)

@@ -1,0 +1,122 @@
+type config = {
+  flavor : Finfet.Library.flavor;
+  method_ : Opt.Space.method_;
+}
+
+let all_configs =
+  [ { flavor = Finfet.Library.Lvt; method_ = Opt.Space.M1 };
+    { flavor = Finfet.Library.Hvt; method_ = Opt.Space.M1 };
+    { flavor = Finfet.Library.Lvt; method_ = Opt.Space.M2 };
+    { flavor = Finfet.Library.Hvt; method_ = Opt.Space.M2 } ]
+
+let config_name { flavor; method_ } =
+  Printf.sprintf "6T-%s-%s"
+    (Finfet.Library.flavor_to_string flavor)
+    (Opt.Space.method_name method_)
+
+type optimized = {
+  capacity_bits : int;
+  config : config;
+  result : Opt.Exhaustive.result;
+}
+
+type cache_key = {
+  k_capacity : int;
+  k_config : config;
+  k_objective : Opt.Objective.t;
+  k_accounting : Array_model.Array_eval.accounting;
+  k_w : int;
+  k_default_space : bool;
+}
+
+let cache : (cache_key, optimized) Hashtbl.t = Hashtbl.create 64
+
+let env_cache :
+  (Finfet.Library.flavor * Array_model.Array_eval.accounting,
+   Array_model.Array_eval.env) Hashtbl.t = Hashtbl.create 8
+
+let env_for ~flavor ~accounting =
+  match Hashtbl.find_opt env_cache (flavor, accounting) with
+  | Some env -> env
+  | None ->
+    let env = Array_model.Array_eval.make_env ~accounting ~cell_flavor:flavor () in
+    Hashtbl.add env_cache (flavor, accounting) env;
+    env
+
+let optimize ?space ?(objective = Opt.Objective.Energy_delay_product)
+    ?(accounting = Array_model.Array_eval.Paper_strict) ?(w = 64)
+    ~capacity_bits ~config () =
+  let default_space = space = None in
+  let key =
+    { k_capacity = capacity_bits; k_config = config; k_objective = objective;
+      k_accounting = accounting; k_w = w; k_default_space = default_space }
+  in
+  match (if default_space then Hashtbl.find_opt cache key else None) with
+  | Some hit -> hit
+  | None ->
+    let env = env_for ~flavor:config.flavor ~accounting in
+    let result =
+      Opt.Exhaustive.search ?space ~objective ~w ~env ~capacity_bits
+        ~method_:config.method_ ()
+    in
+    let value = { capacity_bits; config; result } in
+    if default_space then Hashtbl.add cache key value;
+    value
+
+let paper_capacities =
+  List.map (fun bytes -> bytes * 8) [ 128; 256; 1024; 4096; 16384 ]
+
+let sweep_capacities ?space ?accounting ~capacities ~configs () =
+  List.concat_map
+    (fun capacity_bits ->
+      List.map
+        (fun config -> optimize ?space ?accounting ~capacity_bits ~config ())
+        configs)
+    capacities
+
+let metrics o = o.result.Opt.Exhaustive.best.Opt.Exhaustive.metrics
+let geometry o = o.result.Opt.Exhaustive.best.Opt.Exhaustive.geometry
+let assist o = o.result.Opt.Exhaustive.best.Opt.Exhaustive.assist
+
+type headline = {
+  avg_edp_reduction : float;
+  avg_delay_penalty : float;
+  max_delay_penalty : float;
+  per_capacity : (int * float * float) list;
+}
+
+let headline ?capacities ?accounting () =
+  let capacities =
+    match capacities with
+    | Some c -> c
+    | None -> List.map (fun bytes -> bytes * 8) [ 1024; 4096; 16384 ]
+  in
+  let per_capacity =
+    List.map
+      (fun capacity_bits ->
+        let hvt =
+          optimize ?accounting ~capacity_bits
+            ~config:{ flavor = Finfet.Library.Hvt; method_ = Opt.Space.M2 } ()
+        in
+        let lvt =
+          optimize ?accounting ~capacity_bits
+            ~config:{ flavor = Finfet.Library.Lvt; method_ = Opt.Space.M2 } ()
+        in
+        let mh = metrics hvt and ml = metrics lvt in
+        let reduction =
+          1.0 -. (mh.Array_model.Array_eval.edp /. ml.Array_model.Array_eval.edp)
+        in
+        let penalty =
+          (mh.Array_model.Array_eval.d_array /. ml.Array_model.Array_eval.d_array)
+          -. 1.0
+        in
+        (capacity_bits, reduction, penalty))
+      capacities
+  in
+  let n = float_of_int (List.length per_capacity) in
+  let avg f = List.fold_left (fun acc x -> acc +. f x) 0.0 per_capacity /. n in
+  { avg_edp_reduction = avg (fun (_, r, _) -> r);
+    avg_delay_penalty = avg (fun (_, _, p) -> p);
+    max_delay_penalty =
+      List.fold_left (fun acc (_, _, p) -> max acc p) neg_infinity per_capacity;
+    per_capacity }

@@ -1,0 +1,71 @@
+(** The device-circuit-architecture co-optimization framework: the paper's
+    primary contribution, wrapped as a single entry point.
+
+    Given a capacity, a cell device flavor (device level), a voltage-pin
+    policy (circuit level: which assist rails exist and at what levels),
+    the framework searches the array organization and assist voltages
+    (architecture level) for the minimum energy-delay-product design whose
+    cell margins meet the yield rule. *)
+
+type config = {
+  flavor : Finfet.Library.flavor;
+  method_ : Opt.Space.method_;
+}
+
+val all_configs : config list
+(** The paper's four: LVT/HVT x M1/M2. *)
+
+val config_name : config -> string
+(** e.g. "6T-HVT-M2". *)
+
+type optimized = {
+  capacity_bits : int;
+  config : config;
+  result : Opt.Exhaustive.result;
+}
+
+val optimize :
+  ?space:Opt.Space.t ->
+  ?objective:Opt.Objective.t ->
+  ?accounting:Array_model.Array_eval.accounting ->
+  ?w:int ->
+  capacity_bits:int ->
+  config:config ->
+  unit ->
+  optimized
+(** One full co-optimization run.  Results are memoized per
+    (capacity, config, objective, accounting, w) for the default space. *)
+
+val paper_capacities : int list
+(** 128B, 256B, 1KB, 4KB, 16KB — in bits. *)
+
+val sweep_capacities :
+  ?space:Opt.Space.t ->
+  ?accounting:Array_model.Array_eval.accounting ->
+  capacities:int list ->
+  configs:config list ->
+  unit ->
+  optimized list
+(** Cross product, memoized. *)
+
+type headline = {
+  avg_edp_reduction : float;
+      (** mean (1 - EDP_hvt_m2 / EDP_lvt_m2) over capacities >= 1KB *)
+  avg_delay_penalty : float;
+      (** mean (D_hvt_m2 / D_lvt_m2 - 1) over the same capacities *)
+  max_delay_penalty : float;
+  per_capacity : (int * float * float) list;
+      (** capacity_bits, edp reduction, delay penalty *)
+}
+
+val headline :
+  ?capacities:int list ->
+  ?accounting:Array_model.Array_eval.accounting ->
+  unit ->
+  headline
+(** The paper's abstract numbers: HVT-M2 vs LVT-M2 over 1KB..16KB
+    (its claim: 59%% lower EDP, max 12%% / avg 9%% delay penalty). *)
+
+val metrics : optimized -> Array_model.Array_eval.metrics
+val geometry : optimized -> Array_model.Geometry.t
+val assist : optimized -> Array_model.Components.assist

@@ -1,0 +1,33 @@
+(** Minimal JSON emission for scripting against the experiment results.
+
+    The CLI's [--json] outputs are built from this tree; keeping the
+    emitter in-repo avoids a dependency and is enough for the flat
+    records the framework produces.  Strings are escaped per RFC 8259;
+    floats use shortest round-trip formatting. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_string_pretty : ?indent:int -> t -> string
+(** Multi-line rendering with the given indent width (default 2). *)
+
+(** {1 Conversions for the framework's records} *)
+
+val of_metrics : Array_model.Array_eval.metrics -> t
+
+val of_design_row : Experiments.design_row -> t
+
+val of_headline : Framework.headline -> t
+
+val design_table_json :
+  ?capacities:int list -> unit -> t
+(** The full Table 4 / Figure 7 dataset as a JSON array. *)

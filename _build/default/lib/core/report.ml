@@ -1,0 +1,52 @@
+type row = Cells of string list | Separator
+
+type t = {
+  columns : string list;
+  mutable rows : row list; (* reverse order *)
+}
+
+let create ~columns = { columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Report.add_row: column-count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i header ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | Separator -> acc
+            | Cells cells -> max acc (String.length (List.nth cells i)))
+          (String.length header) rows)
+      t.columns
+  in
+  let render_cells cells =
+    String.concat "  "
+      (List.map2 (fun w c -> Printf.sprintf "%-*s" w c) widths cells)
+  in
+  let rule =
+    String.concat "--"
+      (List.map (fun w -> String.make w '-') widths)
+  in
+  let body =
+    List.map
+      (function Separator -> rule | Cells cells -> render_cells cells)
+      rows
+  in
+  String.concat "\n" ((render_cells t.columns :: rule :: body) @ [ "" ])
+
+let print ?title t =
+  (match title with
+   | Some s ->
+     print_newline ();
+     print_endline s;
+     print_endline (String.make (String.length s) '=')
+   | None -> ());
+  print_string (to_string t)

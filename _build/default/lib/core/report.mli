@@ -1,0 +1,18 @@
+(** Plain-text table rendering for experiment reports (aligned columns,
+    suitable for terminal diffing against the paper's tables). *)
+
+type t
+(** A table under construction. *)
+
+val create : columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on column-count mismatch. *)
+
+val add_separator : t -> unit
+
+val to_string : t -> string
+(** Render with a header rule and per-column alignment (left). *)
+
+val print : ?title:string -> t -> unit
+(** [to_string] to stdout, with an optional underlined title. *)

@@ -1,0 +1,1 @@
+lib/finfet/calibration.ml: Device Numerics String Tech

@@ -1,0 +1,1 @@
+lib/finfet/corners.ml: Device Variation

@@ -1,0 +1,1 @@
+lib/finfet/device.ml: Tech

@@ -1,0 +1,1 @@
+lib/finfet/iv_table.ml: Array Device Numerics

@@ -1,0 +1,1 @@
+lib/finfet/library.ml: Array Calibration Device List Numerics String Tech

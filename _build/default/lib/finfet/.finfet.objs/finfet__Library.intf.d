@@ -1,0 +1,1 @@
+lib/finfet/library.mli: Device Lazy Numerics

@@ -1,0 +1,1 @@
+lib/finfet/tech.mli:

@@ -1,0 +1,1 @@
+lib/finfet/thermal.ml: Device Variation

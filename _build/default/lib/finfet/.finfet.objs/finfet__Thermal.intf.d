@@ -1,0 +1,1 @@
+lib/finfet/thermal.mli: Device Variation

@@ -1,0 +1,1 @@
+lib/finfet/variation.ml: Device Numerics

@@ -1,0 +1,1 @@
+lib/finfet/variation.mli: Device Numerics

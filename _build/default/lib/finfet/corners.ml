@@ -1,0 +1,28 @@
+type corner = TT | FF | SS | FS | SF
+
+let all = [ TT; FF; SS; FS; SF ]
+
+let name = function
+  | TT -> "TT"
+  | FF -> "FF"
+  | SS -> "SS"
+  | FS -> "FS"
+  | SF -> "SF"
+
+let sigma_global = 0.015
+
+(* "Fast" devices have a lower threshold.  The corner sits at 3 sigma. *)
+let vt_multipliers = function
+  | TT -> (0.0, 0.0)
+  | FF -> (-3.0, -3.0)
+  | SS -> (3.0, 3.0)
+  | FS -> (-3.0, 3.0)
+  | SF -> (3.0, -3.0)
+
+let apply corner (d : Device.params) =
+  let mul_n, mul_p = vt_multipliers corner in
+  let mul = match d.Device.polarity with Device.Nfet -> mul_n | Device.Pfet -> mul_p in
+  Device.with_vt d (max 0.02 (d.Device.vt +. (mul *. sigma_global)))
+
+let cell corner ~nfet ~pfet =
+  Variation.nominal_cell ~nfet:(apply corner nfet) ~pfet:(apply corner pfet)

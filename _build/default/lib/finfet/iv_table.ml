@@ -1,0 +1,57 @@
+type t = {
+  table : Numerics.Interp.Table2d.t;
+  v_max : float;
+  floor : float;  (* additive floor so log interpolation tolerates zeros *)
+}
+
+let floor_current = 1e-20
+
+let build ?(vgs_points = 61) ?(vds_points = 61) ?(v_max = 0.85) params =
+  assert (vgs_points >= 2 && vds_points >= 2 && v_max > 0.0);
+  let vgs_axis =
+    Array.init vgs_points (fun i ->
+        v_max *. float_of_int i /. float_of_int (vgs_points - 1))
+  in
+  (* Log current is nearly linear in log vds in the triode tail, so a
+     geometric vds axis keeps the bilinear error bounded there; a uniform
+     axis would leave the whole sub-first-gridpoint region to one cell of
+     wild curvature. *)
+  let vds_axis =
+    let v_min = 2e-4 in
+    let ratio = (v_max /. v_min) ** (1.0 /. float_of_int (vds_points - 1)) in
+    Array.init vds_points (fun i -> v_min *. (ratio ** float_of_int i))
+  in
+  let zs =
+    Array.map
+      (fun vgs ->
+        Array.map
+          (fun vds ->
+            log10 (Device.ids params ~vgs ~vds +. floor_current))
+          vds_axis)
+      vgs_axis
+  in
+  { table = Numerics.Interp.Table2d.create ~xs:vgs_axis ~ys:vds_axis zs;
+    v_max;
+    floor = floor_current }
+
+let ids t ~vgs ~vds =
+  if vds <= 0.0 then 0.0
+  else begin
+    let v = Numerics.Interp.Table2d.eval t.table ~x:vgs ~y:vds in
+    max 0.0 ((10.0 ** v) -. t.floor)
+  end
+
+let max_relative_error ?(samples = 2000) ?(seed = 17) t params =
+  let rng = Numerics.Rng.create ~seed in
+  let worst = ref 0.0 in
+  for _ = 1 to samples do
+    let vgs = Numerics.Rng.uniform_range rng ~lo:0.0 ~hi:t.v_max in
+    let vds = Numerics.Rng.uniform_range rng ~lo:1e-3 ~hi:t.v_max in
+    let exact = Device.ids params ~vgs ~vds in
+    let approx = ids t ~vgs ~vds in
+    if exact > 1e-15 || approx > 1e-15 then begin
+      let err = abs_float (approx -. exact) /. max exact 1e-15 in
+      if err > !worst then worst := err
+    end
+  done;
+  !worst

@@ -1,0 +1,50 @@
+type flavor = Lvt | Hvt
+
+let flavor_to_string = function Lvt -> "LVT" | Hvt -> "HVT"
+
+let flavor_of_string s =
+  match String.uppercase_ascii s with
+  | "LVT" -> Some Lvt
+  | "HVT" -> Some Hvt
+  | _ -> None
+
+type t = {
+  nfet_lvt : Device.params;
+  pfet_lvt : Device.params;
+  nfet_hvt : Device.params;
+  pfet_hvt : Device.params;
+}
+
+let default =
+  lazy
+    (let nfet_hvt = Calibration.calibrate_hvt_nfet () in
+     let nfet_lvt = Calibration.calibrate_lvt_nfet ~hvt:nfet_hvt in
+     { nfet_lvt;
+       pfet_lvt = Calibration.derive_pfet nfet_lvt;
+       nfet_hvt;
+       pfet_hvt = Calibration.derive_pfet nfet_hvt })
+
+let nfet t = function Lvt -> t.nfet_lvt | Hvt -> t.nfet_hvt
+let pfet t = function Lvt -> t.pfet_lvt | Hvt -> t.pfet_hvt
+
+let i_read t flavor ~vddc ~vssc =
+  let n = nfet t flavor in
+  Calibration.stack_read_current ~access:n ~pull_down:n
+    ~vwl:Tech.vdd_nominal ~vbl:Tech.vdd_nominal ~vddc ~vssc
+
+let fit_read_current t flavor =
+  (* Fit along the paper's quoted trajectory: V_DDC pinned at its
+     yield-driven value, V_SSC swept over the negative-Gnd assist range.
+     (A joint 2-D sweep is not a single-variable power law: at equal
+     V_DDC - V_SSC the access transistor sees different bias.) *)
+  let vddc = match flavor with Lvt -> 0.640 | Hvt -> 0.550 in
+  let samples = ref [] in
+  for step = 0 to 24 do
+    let vssc = -.0.010 *. float_of_int step in
+    let i = i_read t flavor ~vddc ~vssc in
+    if i > 0.0 then samples := (vddc -. vssc, i) :: !samples
+  done;
+  let vs = Array.of_list (List.rev_map fst !samples) in
+  let is_ = Array.of_list (List.rev_map snd !samples) in
+  let vt_hi = Array.fold_left min infinity vs -. 0.05 in
+  Numerics.Fit.power_law ~vt_lo:0.05 ~vt_hi vs is_

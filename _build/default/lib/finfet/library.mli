@@ -1,0 +1,38 @@
+(** The calibrated 7nm FinFET device library.
+
+    Two threshold flavors are provided, as in the paper: LVT (used for all
+    peripheral circuits, and optionally SRAM cells) and HVT (the paper's
+    proposed SRAM-cell device).  All devices are single-fin prototypes;
+    multi-fin instances scale via the [nfin] arguments of {!Device}. *)
+
+type flavor = Lvt | Hvt
+
+val flavor_to_string : flavor -> string
+val flavor_of_string : string -> flavor option
+
+type t = {
+  nfet_lvt : Device.params;
+  pfet_lvt : Device.params;
+  nfet_hvt : Device.params;
+  pfet_hvt : Device.params;
+}
+
+val default : t Lazy.t
+(** The library calibrated against the paper anchors (see
+    {!Calibration}).  Lazy because calibration runs a few dozen nonlinear
+    solves. *)
+
+val nfet : t -> flavor -> Device.params
+val pfet : t -> flavor -> Device.params
+
+val i_read :
+  t -> flavor -> vddc:float -> vssc:float -> float
+(** Read current of a single-fin cell stack of the given flavor with WL and
+    BL at nominal Vdd — the quantity the paper fits as b (V - Vt)^a.
+    Computed by the circuit-level stack solve, not the fit. *)
+
+val fit_read_current : t -> flavor -> Numerics.Fit.power_law_fit
+(** Re-derive the paper's power-law fit from simulated stack currents over
+    the assist voltage range (V_DDC in 450..700 mV, V_SSC in -240..0 mV).
+    For HVT this recovers a ~ 1.3, b ~ 9.5e-5, vt ~ 0.335 by construction
+    of the calibration; for LVT it documents the model's LVT fit. *)

@@ -1,0 +1,23 @@
+let t_ref_celsius = 25.0
+let dvt_dt = -0.7e-3
+let mobility_exponent = 1.5
+
+let kelvin celsius = celsius +. 273.15
+
+let at_temperature ~celsius (d : Device.params) =
+  assert (celsius >= -40.0 && celsius <= 150.0);
+  let t = kelvin celsius and t0 = kelvin t_ref_celsius in
+  let ratio = t /. t0 in
+  { d with
+    Device.vt = max 0.02 (d.Device.vt +. (dvt_dt *. (celsius -. t_ref_celsius)));
+    beta = d.Device.beta *. (ratio ** -.mobility_exponent);
+    s_smooth = d.Device.s_smooth *. ratio }
+
+let cell_at_temperature ~celsius (c : Variation.cell_sample) =
+  let f = at_temperature ~celsius in
+  { Variation.pull_up_l = f c.Variation.pull_up_l;
+    pull_up_r = f c.Variation.pull_up_r;
+    pull_down_l = f c.Variation.pull_down_l;
+    pull_down_r = f c.Variation.pull_down_r;
+    access_l = f c.Variation.access_l;
+    access_r = f c.Variation.access_r }

@@ -1,0 +1,30 @@
+let sigma_vt_default = 0.020
+
+let sample_device ?(sigma_vt = sigma_vt_default) rng params =
+  let vt = Numerics.Rng.gaussian rng ~mu:params.Device.vt ~sigma:sigma_vt in
+  Device.with_vt params (max 0.02 vt)
+
+type cell_sample = {
+  pull_up_l : Device.params;
+  pull_up_r : Device.params;
+  pull_down_l : Device.params;
+  pull_down_r : Device.params;
+  access_l : Device.params;
+  access_r : Device.params;
+}
+
+let sample_cell ?(sigma_vt = sigma_vt_default) rng ~nfet ~pfet =
+  { pull_up_l = sample_device ~sigma_vt rng pfet;
+    pull_up_r = sample_device ~sigma_vt rng pfet;
+    pull_down_l = sample_device ~sigma_vt rng nfet;
+    pull_down_r = sample_device ~sigma_vt rng nfet;
+    access_l = sample_device ~sigma_vt rng nfet;
+    access_r = sample_device ~sigma_vt rng nfet }
+
+let nominal_cell ~nfet ~pfet =
+  { pull_up_l = pfet;
+    pull_up_r = pfet;
+    pull_down_l = nfet;
+    pull_down_r = nfet;
+    access_l = nfet;
+    access_r = nfet }

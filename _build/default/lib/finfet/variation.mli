@@ -1,0 +1,34 @@
+(** Process-variation sampling for Monte Carlo yield analysis.
+
+    Random dopant / work-function fluctuation in FinFETs is dominated by
+    threshold-voltage variation; the paper's yield rule ("margins above 35%
+    of Vdd") comes from such a Monte Carlo study.  We model per-device Vt
+    as an independent Gaussian around the nominal value. *)
+
+val sigma_vt_default : float
+(** Default per-fin Vt standard deviation (20 mV, a typical 7nm value). *)
+
+val sample_device :
+  ?sigma_vt:float -> Numerics.Rng.t -> Device.params -> Device.params
+(** Draw one varied instance of a device (Vt perturbed, clipped to stay
+    positive). *)
+
+type cell_sample = {
+  pull_up_l : Device.params;
+  pull_up_r : Device.params;
+  pull_down_l : Device.params;
+  pull_down_r : Device.params;
+  access_l : Device.params;
+  access_r : Device.params;
+}
+(** Six independently varied transistors of a 6T cell. *)
+
+val sample_cell :
+  ?sigma_vt:float ->
+  Numerics.Rng.t ->
+  nfet:Device.params ->
+  pfet:Device.params ->
+  cell_sample
+
+val nominal_cell : nfet:Device.params -> pfet:Device.params -> cell_sample
+(** All six devices at nominal parameters. *)

@@ -1,0 +1,1 @@
+lib/gates/decoder.ml: Array Finfet Float Logical_effort

@@ -1,0 +1,1 @@
+lib/gates/gate_sim.ml: Finfet List Spice Superbuffer

@@ -1,0 +1,1 @@
+lib/gates/gate_sim.mli: Finfet Spice Superbuffer

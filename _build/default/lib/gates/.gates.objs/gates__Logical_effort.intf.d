@@ -1,0 +1,1 @@
+lib/gates/logical_effort.mli: Finfet

@@ -1,0 +1,1 @@
+lib/gates/sa_offset.ml: Array Dc Finfet Netlist Numerics Spice

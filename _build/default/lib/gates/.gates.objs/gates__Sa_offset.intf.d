@@ -1,0 +1,1 @@
+lib/gates/sa_offset.mli: Finfet

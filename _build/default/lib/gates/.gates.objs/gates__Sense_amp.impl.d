@@ -1,0 +1,1 @@
+lib/gates/sense_amp.ml: Finfet Netlist Spice

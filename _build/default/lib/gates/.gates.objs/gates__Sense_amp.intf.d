@@ -1,0 +1,1 @@
+lib/gates/sense_amp.mli: Finfet Spice

@@ -1,0 +1,1 @@
+lib/gates/superbuffer.ml: Finfet Float List Logical_effort

@@ -1,0 +1,75 @@
+type result = { delay : float; energy : float }
+
+(* Predecoded row/column decoder:
+     address buffer -> 2-bit predecode NAND2 + driver -> predecode lines
+     fanning out to the per-row combine tree (NAND2 depth log2(groups))
+     -> c_out.
+   The critical path is priced with the method of logical effort over the
+   whole path (F = G B H), with optimally sized buffers inserted so the
+   per-stage effort stays near 4 — reproducing the logarithmic depth of a
+   properly buffered decoder.  A NAND2 combine tree (not a wide m-input
+   NAND) keeps the per-input load on the heavily fanned-out predecode
+   lines at a single gate, as real decoders do.
+
+   Energy counts what toggles on one access: the sized buffer ladder along
+   the critical path, the rising and falling predecode line (wire load =
+   fanout x one NAND2 input), the selected row's combine tree, and the
+   final output load. *)
+let decode ~nfet ~pfet ~bits ~c_out =
+  assert (bits >= 0);
+  if bits = 0 then { delay = 0.0; energy = 0.0 }
+  else begin
+    let tau = Logical_effort.tau ~nfet ~pfet in
+    let vdd = Finfet.Tech.vdd_nominal in
+    let inv = Logical_effort.inverter ~nfet ~pfet ~nfin:1 in
+    let nand2 = Logical_effort.nand ~nfet ~pfet ~inputs:2 ~nfin:1 in
+    let groups = (bits + 1) / 2 in
+    let tree_depth =
+      if groups <= 1 then 1
+      else int_of_float (ceil (log (float_of_int groups) /. log 2.0))
+    in
+    let outputs = 1 lsl bits in
+    let predecode_fanout = float_of_int (max 1 (outputs / 4)) in
+    (* Logical effort along: inv, predecode NAND2, inv, tree_depth NAND2s. *)
+    let g_path =
+      nand2.Logical_effort.g ** float_of_int (1 + tree_depth)
+    in
+    let b_path = 2.0 *. predecode_fanout in
+    let h_path = max (c_out /. inv.Logical_effort.c_in) 1.0 in
+    let f_path = g_path *. b_path *. h_path in
+    let logic_stages = 3 + tree_depth in
+    let n_stages =
+      max logic_stages (int_of_float (Float.round (log f_path /. log 4.0)))
+    in
+    let stage_effort = f_path ** (1.0 /. float_of_int n_stages) in
+    let parasitics =
+      (* two inverters + (1 + tree_depth) NAND2s + inserted buffers *)
+      2.0
+      +. (float_of_int (1 + tree_depth) *. nand2.Logical_effort.p)
+      +. float_of_int (max 0 (n_stages - logic_stages))
+    in
+    let delay =
+      tau *. ((float_of_int n_stages *. stage_effort) +. parasitics)
+    in
+    (* One-access switched capacitance. *)
+    let ladder =
+      if stage_effort <= 1.001 then
+        inv.Logical_effort.c_in *. float_of_int n_stages
+      else
+        inv.Logical_effort.c_in *. stage_effort
+        *. (((stage_effort ** float_of_int n_stages) -. 1.0)
+            /. (stage_effort -. 1.0))
+    in
+    let line_load = predecode_fanout *. nand2.Logical_effort.c_in in
+    let tree_switched =
+      float_of_int tree_depth
+      *. (nand2.Logical_effort.c_par +. nand2.Logical_effort.c_in)
+    in
+    let switched =
+      ladder +. (2.0 *. line_load) +. tree_switched +. c_out
+    in
+    { delay; energy = switched *. vdd *. vdd }
+  end
+
+let characterize ~nfet ~pfet ~max_bits ~c_out =
+  Array.init (max_bits + 1) (fun bits -> decode ~nfet ~pfet ~bits ~c_out)

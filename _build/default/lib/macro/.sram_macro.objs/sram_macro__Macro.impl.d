@@ -1,0 +1,1 @@
+lib/macro/macro.ml: Array Array_model Int64 Numerics Opt Printf Workload

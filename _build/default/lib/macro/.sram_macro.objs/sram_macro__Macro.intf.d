@@ -1,0 +1,1 @@
+lib/macro/macro.mli: Array_model Finfet Opt Workload

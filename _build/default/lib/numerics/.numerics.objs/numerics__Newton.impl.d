@@ -1,0 +1,1 @@
+lib/numerics/newton.ml: Array Lu Matrix

@@ -1,0 +1,1 @@
+lib/numerics/sparse_lu.mli: Sparse

@@ -1,0 +1,47 @@
+(** Lookup tables with interpolation.
+
+    The paper stores SPICE-characterized delay/energy components "with
+    dependencies on a variable ... in look-up tables"; these are those
+    tables.  1-D tables interpolate linearly (optionally clamping or
+    extrapolating at the ends); 2-D tables interpolate bilinearly. *)
+
+type extrapolation =
+  | Clamp        (** hold the boundary value outside the domain *)
+  | Extrapolate  (** continue the boundary segment's slope *)
+  | Error        (** raise [Invalid_argument] outside the domain *)
+
+module Table1d : sig
+  type t
+
+  val create : ?extrapolation:extrapolation -> float array -> float array -> t
+  (** [create xs ys]: [xs] must be strictly increasing and the arrays of
+      equal length >= 2.  Default extrapolation is [Clamp]. *)
+
+  val of_fn : ?extrapolation:extrapolation -> lo:float -> hi:float -> n:int ->
+    (float -> float) -> t
+  (** Sample a function on [n] equally spaced points (n >= 2). *)
+
+  val eval : t -> float -> float
+
+  val domain : t -> float * float
+
+  val xs : t -> float array
+  val ys : t -> float array
+end
+
+module Table2d : sig
+  type t
+
+  val create :
+    ?extrapolation:extrapolation ->
+    xs:float array -> ys:float array -> float array array -> t
+  (** [create ~xs ~ys zs]: [zs.(i).(j)] is the value at [(xs.(i), ys.(j))].
+      Both axes strictly increasing. *)
+
+  val eval : t -> x:float -> y:float -> float
+end
+
+val pchip : xs:float array -> ys:float array -> (float -> float)
+(** Monotone cubic (Fritsch-Carlson) interpolant; preserves monotonicity of
+    the data — important for I-V tables where overshoot would create
+    spurious negative differential conductance. Clamps outside the domain. *)

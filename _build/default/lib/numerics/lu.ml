@@ -1,0 +1,97 @@
+exception Singular
+
+type factors = { lu : Matrix.t; perm : int array }
+
+let pivot_threshold = 1e-14
+
+let factorize m =
+  let n = Matrix.rows m in
+  assert (Matrix.cols m = n);
+  let lu = Matrix.copy m in
+  let perm = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: bring the largest remaining |entry| in column k up. *)
+    let pivot_row = ref k in
+    let pivot_val = ref (abs_float (Matrix.get lu k k)) in
+    for i = k + 1 to n - 1 do
+      let v = abs_float (Matrix.get lu i k) in
+      if v > !pivot_val then begin
+        pivot_val := v;
+        pivot_row := i
+      end
+    done;
+    if !pivot_val < pivot_threshold then raise Singular;
+    if !pivot_row <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Matrix.get lu k j in
+        Matrix.set lu k j (Matrix.get lu !pivot_row j);
+        Matrix.set lu !pivot_row j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- tmp
+    end;
+    let pivot = Matrix.get lu k k in
+    for i = k + 1 to n - 1 do
+      let factor = Matrix.get lu i k /. pivot in
+      Matrix.set lu i k factor;
+      if factor <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Matrix.add_to lu i j (-.factor *. Matrix.get lu k j)
+        done
+    done
+  done;
+  { lu; perm }
+
+let solve_factored { lu; perm } b =
+  let n = Matrix.rows lu in
+  assert (Array.length b = n);
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* Forward substitution with unit-lower L. *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Matrix.get lu i j *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* Backward substitution with U. *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Matrix.get lu i j *. x.(j))
+    done;
+    x.(i) <- !acc /. Matrix.get lu i i
+  done;
+  x
+
+let solve m b = solve_factored (factorize m) b
+
+let det { lu; perm } =
+  let n = Matrix.rows lu in
+  (* Sign of the permutation: count transpositions. *)
+  let visited = Array.make n false in
+  let sign = ref 1.0 in
+  for i = 0 to n - 1 do
+    if not visited.(i) then begin
+      let len = ref 0 in
+      let j = ref i in
+      while not visited.(!j) do
+        visited.(!j) <- true;
+        j := perm.(!j);
+        incr len
+      done;
+      if !len mod 2 = 0 then sign := -. !sign
+    end
+  done;
+  let d = ref !sign in
+  for i = 0 to n - 1 do
+    d := !d *. Matrix.get lu i i
+  done;
+  !d
+
+let solve_least_squares a b =
+  let at = Matrix.transpose a in
+  let ata = Matrix.mat_mul at a in
+  let atb = Matrix.mat_vec at b in
+  solve ata atb

@@ -1,0 +1,62 @@
+(** Damped Newton-Raphson for small nonlinear systems F(x) = 0.
+
+    This is the kernel of the DC operating-point solver: the residual is the
+    vector of KCL node-current sums and the Jacobian is the MNA conductance
+    matrix linearized at the current iterate. *)
+
+type result = {
+  x : float array;        (** final iterate *)
+  converged : bool;       (** residual below tolerance *)
+  iterations : int;       (** Newton steps taken *)
+  residual : float;       (** final ||F(x)||_inf *)
+}
+
+val solve :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?damping:float ->
+  ?max_step:float ->
+  residual:(float array -> float array) ->
+  jacobian:(float array -> Matrix.t) ->
+  x0:float array ->
+  unit ->
+  result
+(** [solve ~residual ~jacobian ~x0 ()] iterates
+    [x <- x - damp * J^-1 F(x)] with:
+    - per-component step clamping to [max_step] (default 0.12, roughly a
+      thermal-voltage-scale trust region appropriate for exponential device
+      models);
+    - backtracking line search halving the step while the residual norm
+      does not decrease (up to 8 halvings);
+    - singular-Jacobian recovery by gmin-style diagonal regularization.
+
+    [tol] bounds ||F||_inf (default 1e-12, i.e. picoampere-scale KCL error).
+    Not raising on failure is deliberate: continuation strategies
+    (source stepping) inspect [converged] and retry. *)
+
+val solve_fd :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?damping:float ->
+  ?max_step:float ->
+  ?eps:float ->
+  residual:(float array -> float array) ->
+  x0:float array ->
+  unit ->
+  result
+(** As {!solve} with a forward-difference Jacobian ([eps] default 1e-7). *)
+
+val solve_custom :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?damping:float ->
+  ?max_step:float ->
+  residual:(float array -> float array) ->
+  solve_step:(float array -> float array -> float array) ->
+  x0:float array ->
+  unit ->
+  result
+(** As {!solve} with the Newton step delegated to
+    [solve_step x neg_f = J(x)^-1 neg_f] — the hook large circuits use to
+    plug in {!Sparse_lu} instead of dense factorization.  [solve_step]
+    owns singularity recovery (e.g. gmin regularization). *)

@@ -1,0 +1,76 @@
+type event = { time : float; state : float array }
+
+let rk4 ~f ~t0 ~t1 ~dt y0 =
+  assert (dt > 0.0 && t1 > t0);
+  let n = Array.length y0 in
+  let steps = int_of_float (ceil ((t1 -. t0) /. dt)) in
+  let y = ref (Array.copy y0) in
+  let t = ref t0 in
+  let acc = ref [ { time = t0; state = Array.copy y0 } ] in
+  for _ = 1 to steps do
+    let h = min dt (t1 -. !t) in
+    if h > 0.0 then begin
+      let yv = !y in
+      let k1 = f !t yv in
+      let mid1 = Array.init n (fun i -> yv.(i) +. (0.5 *. h *. k1.(i))) in
+      let k2 = f (!t +. (0.5 *. h)) mid1 in
+      let mid2 = Array.init n (fun i -> yv.(i) +. (0.5 *. h *. k2.(i))) in
+      let k3 = f (!t +. (0.5 *. h)) mid2 in
+      let endp = Array.init n (fun i -> yv.(i) +. (h *. k3.(i))) in
+      let k4 = f (!t +. h) endp in
+      let ynew =
+        Array.init n (fun i ->
+            yv.(i)
+            +. (h /. 6.0 *. (k1.(i) +. (2.0 *. k2.(i)) +. (2.0 *. k3.(i)) +. k4.(i))))
+      in
+      t := !t +. h;
+      y := ynew;
+      acc := { time = !t; state = Array.copy ynew } :: !acc
+    end
+  done;
+  List.rev !acc
+
+let backward_euler ?(newton_tol = 1e-10) ~f ~t0 ~t1 ~dt y0 =
+  assert (dt > 0.0 && t1 > t0);
+  let steps = int_of_float (ceil ((t1 -. t0) /. dt)) in
+  let y = ref (Array.copy y0) in
+  let t = ref t0 in
+  let acc = ref [ { time = t0; state = Array.copy y0 } ] in
+  for _ = 1 to steps do
+    let h = min dt (t1 -. !t) in
+    if h > 0.0 then begin
+      let yn = !y in
+      let tn1 = !t +. h in
+      (* Residual of the implicit step: g(y) = y - yn - h f(tn1, y). *)
+      let residual ynext =
+        let fy = f tn1 ynext in
+        Array.init (Array.length yn) (fun i -> ynext.(i) -. yn.(i) -. (h *. fy.(i)))
+      in
+      let result =
+        Newton.solve_fd ~tol:newton_tol ~max_iter:60 ~max_step:0.2 ~residual
+          ~x0:(Array.copy yn) ()
+      in
+      t := tn1;
+      y := result.Newton.x;
+      acc := { time = !t; state = Array.copy result.Newton.x } :: !acc
+    end
+  done;
+  List.rev !acc
+
+let first_crossing ~events ~index ~threshold ~direction =
+  let crosses prev cur =
+    match direction with
+    | `Rising -> prev < threshold && cur >= threshold
+    | `Falling -> prev > threshold && cur <= threshold
+  in
+  let rec scan = function
+    | a :: (b :: _ as rest) ->
+      let va = a.state.(index) and vb = b.state.(index) in
+      if crosses va vb then begin
+        let frac = if vb = va then 0.0 else (threshold -. va) /. (vb -. va) in
+        Some (a.time +. (frac *. (b.time -. a.time)))
+      end
+      else scan rest
+    | [ _ ] | [] -> None
+  in
+  scan events

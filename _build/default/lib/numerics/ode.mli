@@ -1,0 +1,34 @@
+(** Initial-value ODE integration for transient circuit analysis.
+
+    The transient solver integrates C dv/dt = f(t, v) (nodal charge
+    conservation).  Backward Euler is the default — unconditionally stable,
+    which matters for the stiff systems produced by strong transistors
+    driving small node capacitances.  RK4 is provided for smooth, non-stiff
+    verification cases. *)
+
+type event = {
+  time : float;
+  state : float array;
+}
+
+val rk4 :
+  f:(float -> float array -> float array) ->
+  t0:float -> t1:float -> dt:float -> float array -> event list
+(** [rk4 ~f ~t0 ~t1 ~dt y0]: classic fixed-step Runge-Kutta 4. Returns
+    states at every step, in increasing time order, including both
+    endpoints. *)
+
+val backward_euler :
+  ?newton_tol:float ->
+  f:(float -> float array -> float array) ->
+  t0:float -> t1:float -> dt:float -> float array -> event list
+(** [backward_euler ~f ~t0 ~t1 ~dt y0]: implicit Euler; each step solves
+    y_{n+1} = y_n + dt f(t_{n+1}, y_{n+1}) with a finite-difference damped
+    Newton iteration. *)
+
+val first_crossing :
+  events:event list -> index:int -> threshold:float -> direction:[ `Rising | `Falling ] ->
+  float option
+(** Linear-interpolated time at which component [index] first crosses
+    [threshold] in the requested direction, if it does.  This implements
+    delay measurement (e.g. "time until BL falls to Vdd - ΔV_S"). *)

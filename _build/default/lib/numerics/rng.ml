@@ -1,0 +1,62 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64 expands a single seed into well-distributed 64-bit words,
+   which is the recommended way to initialize xoshiro state. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256** next *)
+let next t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let uniform t =
+  (* Take the top 53 bits for a double in [0,1). *)
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform_range t ~lo ~hi =
+  assert (lo <= hi);
+  lo +. ((hi -. lo) *. uniform t)
+
+let gaussian t ~mu ~sigma =
+  (* Box-Muller; guard against log 0 by nudging u1 away from zero. *)
+  let u1 = max (uniform t) 1e-300 in
+  let u2 = uniform t in
+  let r = sqrt (-2.0 *. log u1) in
+  mu +. (sigma *. r *. cos (2.0 *. Float.pi *. u2))
+
+let int_below t n =
+  assert (n > 0);
+  let x = Int64.shift_right_logical (next t) 1 in
+  Int64.to_int (Int64.rem x (Int64.of_int n))
+
+let split t =
+  let seed = Int64.to_int (next t) land max_int in
+  create ~seed

@@ -1,0 +1,1 @@
+lib/opt/anneal.ml: Array Array_model Exhaustive List Numerics Objective Space Yield

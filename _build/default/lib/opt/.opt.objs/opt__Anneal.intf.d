@@ -1,0 +1,1 @@
+lib/opt/anneal.mli: Array_model Exhaustive Objective Space

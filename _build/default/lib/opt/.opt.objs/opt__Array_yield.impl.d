@@ -1,0 +1,1 @@
+lib/opt/array_yield.ml: Array_model Finfet Lazy Numerics Sram_cell Yield Yield_mc

@@ -1,0 +1,1 @@
+lib/opt/array_yield.mli: Array_model Finfet Sram_cell Yield_mc

@@ -1,0 +1,1 @@
+lib/opt/exhaustive.ml: Array Array_model List Objective Space Yield

@@ -1,0 +1,1 @@
+lib/opt/exhaustive.mli: Array_model Objective Space Yield

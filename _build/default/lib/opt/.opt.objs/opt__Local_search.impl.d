@@ -1,0 +1,1 @@
+lib/opt/local_search.ml: Array Array_model Exhaustive Float List Objective Space Yield

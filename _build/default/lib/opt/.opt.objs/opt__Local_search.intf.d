@@ -1,0 +1,1 @@
+lib/opt/local_search.mli: Array_model Exhaustive Objective Space Yield

@@ -1,0 +1,1 @@
+lib/opt/objective.ml: Array_model

@@ -1,0 +1,1 @@
+lib/opt/objective.mli: Array_model

@@ -1,0 +1,1 @@
+lib/opt/pareto.ml: Array_model Exhaustive List

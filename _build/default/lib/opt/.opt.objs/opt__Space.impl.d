@@ -1,0 +1,1 @@
+lib/opt/space.ml: Array Array_model List Yield

@@ -1,0 +1,1 @@
+lib/opt/space.mli: Array_model Yield

@@ -1,0 +1,1 @@
+lib/opt/yield.ml: Finfet Hashtbl Lazy Numerics Sram_cell

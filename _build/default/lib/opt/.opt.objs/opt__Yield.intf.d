@@ -1,0 +1,1 @@
+lib/opt/yield.mli: Finfet

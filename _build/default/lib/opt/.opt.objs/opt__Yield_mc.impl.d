@@ -1,0 +1,1 @@
+lib/opt/yield_mc.ml: Finfet Hashtbl Lazy Numerics Sram_cell Yield

@@ -1,0 +1,1 @@
+lib/opt/yield_mc.mli: Finfet

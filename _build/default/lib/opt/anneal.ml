@@ -1,0 +1,100 @@
+type schedule = {
+  initial_temperature : float;
+  cooling : float;
+  steps : int;
+}
+
+let default_schedule =
+  { initial_temperature = 0.3; cooling = 0.995; steps = 2000 }
+
+type state = {
+  vssc_i : int;
+  nr_i : int;
+  n_pre_i : int;
+  n_wr_i : int;
+}
+
+let search ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
+    ?(schedule = default_schedule) ?(w = 64) ~seed ~env ~capacity_bits ~method_ () =
+  if not (Array_model.Geometry.is_power_of_two capacity_bits) then
+    invalid_arg "Anneal.search: capacity must be a power of two";
+  let flavor = env.Array_model.Array_eval.cell_flavor in
+  let levels = Yield.solve ~flavor () in
+  let pins = Space.pins_for method_ levels in
+  let vssc_values =
+    if pins.Space.vssc_allowed then space.Space.vssc_values else [| 0.0 |]
+  in
+  (* Restrict the row grid to organizations valid for this capacity. *)
+  let nr_values =
+    Array.of_list
+      (List.filter
+         (fun nr ->
+           nr <= capacity_bits
+           && Array_model.Geometry.is_power_of_two (capacity_bits / nr))
+         (Array.to_list space.Space.nr_values))
+  in
+  if Array.length nr_values = 0 then invalid_arg "Anneal.search: empty geometry space";
+  let rng = Numerics.Rng.create ~seed in
+  let evaluated = ref 0 in
+  let eval state =
+    let nr = nr_values.(state.nr_i) in
+    let geometry =
+      Array_model.Geometry.create ~nr ~nc:(capacity_bits / nr) ~w
+        ~n_pre:space.Space.n_pre_values.(state.n_pre_i)
+        ~n_wr:space.Space.n_wr_values.(state.n_wr_i)
+        ()
+    in
+    let assist = Space.assist_of pins ~vssc:vssc_values.(state.vssc_i) in
+    let metrics = Array_model.Array_eval.evaluate env geometry assist in
+    incr evaluated;
+    let score = Objective.eval objective metrics in
+    { Exhaustive.geometry; assist; metrics; score }
+  in
+  let random_state () =
+    { vssc_i = Numerics.Rng.int_below rng (Array.length vssc_values);
+      nr_i = Numerics.Rng.int_below rng (Array.length nr_values);
+      n_pre_i = Numerics.Rng.int_below rng (Array.length space.Space.n_pre_values);
+      n_wr_i = Numerics.Rng.int_below rng (Array.length space.Space.n_wr_values) }
+  in
+  let perturb state =
+    (* Move one coordinate by +-1 (local move); occasionally jump. *)
+    if Numerics.Rng.uniform rng < 0.1 then random_state ()
+    else begin
+      let bump i n =
+        let d = if Numerics.Rng.uniform rng < 0.5 then -1 else 1 in
+        max 0 (min (n - 1) (i + d))
+      in
+      match Numerics.Rng.int_below rng 4 with
+      | 0 -> { state with vssc_i = bump state.vssc_i (Array.length vssc_values) }
+      | 1 -> { state with nr_i = bump state.nr_i (Array.length nr_values) }
+      | 2 ->
+        { state with
+          n_pre_i = bump state.n_pre_i (Array.length space.Space.n_pre_values) }
+      | _ ->
+        { state with
+          n_wr_i = bump state.n_wr_i (Array.length space.Space.n_wr_values) }
+    end
+  in
+  let current = ref (random_state ()) in
+  let current_cand = ref (eval !current) in
+  let best = ref !current_cand in
+  let temperature = ref schedule.initial_temperature in
+  for _ = 1 to schedule.steps do
+    let next = perturb !current in
+    let cand = eval next in
+    let relative =
+      (cand.Exhaustive.score -. !current_cand.Exhaustive.score)
+      /. !current_cand.Exhaustive.score
+    in
+    let accept =
+      relative <= 0.0
+      || Numerics.Rng.uniform rng < exp (-.relative /. max !temperature 1e-6)
+    in
+    if accept then begin
+      current := next;
+      current_cand := cand
+    end;
+    if cand.Exhaustive.score < !best.Exhaustive.score then best := cand;
+    temperature := !temperature *. schedule.cooling
+  done;
+  { Exhaustive.best = !best; evaluated = !evaluated; levels; pins }

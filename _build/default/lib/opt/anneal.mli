@@ -1,0 +1,29 @@
+(** Simulated annealing over the discrete co-optimization space.
+
+    An ablation partner for {!Exhaustive}: the paper argues exhaustive
+    search suffices (four small ranges, minutes on a server); annealing
+    demonstrates what a heuristic buys — orders of magnitude fewer
+    evaluations at a small optimality risk — which matters if the space is
+    extended (e.g. per-bank voltages). Deterministic given the seed. *)
+
+type schedule = {
+  initial_temperature : float;  (** in units of relative score (0.1 = 10%) *)
+  cooling : float;              (** geometric factor per step, < 1 *)
+  steps : int;
+}
+
+val default_schedule : schedule
+
+val search :
+  ?space:Space.t ->
+  ?objective:Objective.t ->
+  ?schedule:schedule ->
+  ?w:int ->
+  seed:int ->
+  env:Array_model.Array_eval.env ->
+  capacity_bits:int ->
+  method_:Space.method_ ->
+  unit ->
+  Exhaustive.result
+(** Same result shape as {!Exhaustive.search}; [evaluated] counts
+    objective evaluations (the cost being traded against quality). *)

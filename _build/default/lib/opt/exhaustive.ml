@@ -1,0 +1,56 @@
+type candidate = {
+  geometry : Array_model.Geometry.t;
+  assist : Array_model.Components.assist;
+  metrics : Array_model.Array_eval.metrics;
+  score : float;
+}
+
+type result = {
+  best : candidate;
+  evaluated : int;
+  levels : Yield.levels;
+  pins : Space.pins;
+}
+
+let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
+    ?levels ?w ~env ~capacity_bits ~method_ ~keep_all () =
+  if not (Array_model.Geometry.is_power_of_two capacity_bits) then
+    invalid_arg "Exhaustive.search: capacity must be a power of two";
+  let flavor = env.Array_model.Array_eval.cell_flavor in
+  let levels =
+    match levels with Some l -> l | None -> Yield.solve ~flavor ()
+  in
+  let pins = Space.pins_for method_ levels in
+  let vssc_values =
+    if pins.Space.vssc_allowed then space.Space.vssc_values else [| 0.0 |]
+  in
+  let geometries = Space.candidate_geometries ?w space ~capacity_bits in
+  if geometries = [] then invalid_arg "Exhaustive.search: empty geometry space";
+  let best = ref None in
+  let all = ref [] in
+  let evaluated = ref 0 in
+  List.iter
+    (fun geometry ->
+      Array.iter
+        (fun vssc ->
+          let assist = Space.assist_of pins ~vssc in
+          let metrics = Array_model.Array_eval.evaluate env geometry assist in
+          let score = Objective.eval objective metrics in
+          incr evaluated;
+          let candidate = { geometry; assist; metrics; score } in
+          if keep_all then all := candidate :: !all;
+          match !best with
+          | Some b when b.score <= score -> ()
+          | Some _ | None -> best := Some candidate)
+        vssc_values)
+    geometries;
+  match !best with
+  | None -> invalid_arg "Exhaustive.search: no candidates"
+  | Some best ->
+    ({ best; evaluated = !evaluated; levels; pins }, List.rev !all)
+
+let search ?space ?objective ?levels ?w ~env ~capacity_bits ~method_ () =
+  fst (run ?space ?objective ?levels ?w ~env ~capacity_bits ~method_ ~keep_all:false ())
+
+let search_all ?space ?objective ?levels ?w ~env ~capacity_bits ~method_ () =
+  run ?space ?objective ?levels ?w ~env ~capacity_bits ~method_ ~keep_all:true ()

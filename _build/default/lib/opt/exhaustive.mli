@@ -1,0 +1,52 @@
+(** Exhaustive search over the co-optimization space.
+
+    With V_DDC / V_WL pinned by yield, "only four variables with
+    relatively small ranges are left, [so] we can derive the minimum
+    energy-delay product point ... using an exhaustive search"
+    (Section 5).  Every candidate is priced through the analytic array
+    model; the search is deterministic. *)
+
+type candidate = {
+  geometry : Array_model.Geometry.t;
+  assist : Array_model.Components.assist;
+  metrics : Array_model.Array_eval.metrics;
+  score : float;
+}
+
+type result = {
+  best : candidate;
+  evaluated : int;
+  levels : Yield.levels;
+  pins : Space.pins;
+}
+
+val search :
+  ?space:Space.t ->
+  ?objective:Objective.t ->
+  ?levels:Yield.levels ->
+  ?w:int ->
+  env:Array_model.Array_eval.env ->
+  capacity_bits:int ->
+  method_:Space.method_ ->
+  unit ->
+  result
+(** Find the minimum-objective design for the environment's cell flavor.
+    [levels] overrides the yield-driven V_DDC / V_WL pins (default: solve
+    them with {!Yield.solve}; pass Monte-Carlo-derived pins from
+    {!Yield_mc} for the k-sigma constraint formulation).
+    @raise Invalid_argument if the capacity is not a power of two or no
+    geometry candidate exists. *)
+
+val search_all :
+  ?space:Space.t ->
+  ?objective:Objective.t ->
+  ?levels:Yield.levels ->
+  ?w:int ->
+  env:Array_model.Array_eval.env ->
+  capacity_bits:int ->
+  method_:Space.method_ ->
+  unit ->
+  result * candidate list
+(** As {!search} but also returns every evaluated candidate (input to
+    Pareto-front extraction and ablations).  Memory: one record per
+    design point. *)

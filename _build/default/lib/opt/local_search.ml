@@ -1,0 +1,110 @@
+type state = {
+  vssc_i : int;
+  nr_i : int;
+  n_pre_i : int;
+  n_wr_i : int;
+}
+
+let search ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
+    ?levels ?(restarts = 4) ?(w = 64) ~env ~capacity_bits ~method_ () =
+  if not (Array_model.Geometry.is_power_of_two capacity_bits) then
+    invalid_arg "Local_search.search: capacity must be a power of two";
+  let flavor = env.Array_model.Array_eval.cell_flavor in
+  let levels = match levels with Some l -> l | None -> Yield.solve ~flavor () in
+  let pins = Space.pins_for method_ levels in
+  let vssc_values =
+    if pins.Space.vssc_allowed then space.Space.vssc_values else [| 0.0 |]
+  in
+  let nr_values =
+    Array.of_list
+      (List.filter
+         (fun nr ->
+           nr <= capacity_bits
+           && Array_model.Geometry.is_power_of_two (capacity_bits / nr))
+         (Array.to_list space.Space.nr_values))
+  in
+  if Array.length nr_values = 0 then
+    invalid_arg "Local_search.search: empty geometry space";
+  let evaluated = ref 0 in
+  let eval state =
+    let nr = nr_values.(state.nr_i) in
+    let geometry =
+      Array_model.Geometry.create ~nr ~nc:(capacity_bits / nr) ~w
+        ~n_pre:space.Space.n_pre_values.(state.n_pre_i)
+        ~n_wr:space.Space.n_wr_values.(state.n_wr_i)
+        ()
+    in
+    let assist = Space.assist_of pins ~vssc:vssc_values.(state.vssc_i) in
+    let metrics = Array_model.Array_eval.evaluate env geometry assist in
+    incr evaluated;
+    { Exhaustive.geometry; assist; metrics;
+      score = Objective.eval objective metrics }
+  in
+  (* Line scan of one coordinate with the rest pinned. *)
+  let scan state coordinate =
+    let dim =
+      match coordinate with
+      | `Vssc -> Array.length vssc_values
+      | `Nr -> Array.length nr_values
+      | `Npre -> Array.length space.Space.n_pre_values
+      | `Nwr -> Array.length space.Space.n_wr_values
+    in
+    let with_index i =
+      match coordinate with
+      | `Vssc -> { state with vssc_i = i }
+      | `Nr -> { state with nr_i = i }
+      | `Npre -> { state with n_pre_i = i }
+      | `Nwr -> { state with n_wr_i = i }
+    in
+    let best = ref (with_index 0) in
+    let best_cand = ref (eval !best) in
+    for i = 1 to dim - 1 do
+      let s = with_index i in
+      let c = eval s in
+      if c.Exhaustive.score < !best_cand.Exhaustive.score then begin
+        best := s;
+        best_cand := c
+      end
+    done;
+    (!best, !best_cand)
+  in
+  let descend start =
+    let rec cycle state candidate =
+      let state', candidate' =
+        List.fold_left
+          (fun (s, c) coordinate ->
+            let s', c' = scan s coordinate in
+            if c'.Exhaustive.score < c.Exhaustive.score then (s', c') else (s, c))
+          (state, candidate)
+          [ `Vssc; `Nr; `Npre; `Nwr ]
+      in
+      if candidate'.Exhaustive.score < candidate.Exhaustive.score -. 1e-40 then
+        cycle state' candidate'
+      else candidate'
+    in
+    cycle start (eval start)
+  in
+  (* Deterministic low-discrepancy spread of starting points: each
+     coordinate walks its own irrational stride so restarts explore
+     genuinely different basins (a single diagonal would revisit the same
+     one). *)
+  let start k =
+    let pick n stride =
+      let frac = Float.rem ((float_of_int k *. stride) +. (0.5 *. stride)) 1.0 in
+      min (n - 1) (int_of_float (frac *. float_of_int n))
+    in
+    { vssc_i = pick (Array.length vssc_values) 0.754877;
+      nr_i = pick (Array.length nr_values) 0.569840;
+      n_pre_i = pick (Array.length space.Space.n_pre_values) 0.362547;
+      n_wr_i = pick (Array.length space.Space.n_wr_values) 0.914107 }
+  in
+  let best = ref None in
+  for k = 0 to restarts - 1 do
+    let candidate = descend (start k) in
+    match !best with
+    | Some b when b.Exhaustive.score <= candidate.Exhaustive.score -> ()
+    | Some _ | None -> best := Some candidate
+  done;
+  match !best with
+  | None -> invalid_arg "Local_search.search: no candidates"
+  | Some best -> { Exhaustive.best; evaluated = !evaluated; levels; pins }

@@ -1,0 +1,21 @@
+type t =
+  | Energy_delay_product
+  | Energy_delay_squared
+  | Energy_only
+  | Delay_only
+
+let name = function
+  | Energy_delay_product -> "EDP"
+  | Energy_delay_squared -> "ED^2"
+  | Energy_only -> "energy"
+  | Delay_only -> "delay"
+
+let eval t (m : Array_model.Array_eval.metrics) =
+  let open Array_model.Array_eval in
+  match t with
+  | Energy_delay_product -> m.e_total *. m.d_array
+  | Energy_delay_squared -> m.e_total *. m.d_array *. m.d_array
+  | Energy_only -> m.e_total
+  | Delay_only -> m.d_array
+
+let all = [ Energy_delay_product; Energy_delay_squared; Energy_only; Delay_only ]

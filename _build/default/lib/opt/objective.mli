@@ -1,0 +1,19 @@
+(** Optimization objectives over the array metrics.
+
+    The paper minimizes energy x delay; the alternatives are ablation
+    targets for studying how the chosen figure of merit moves the optimum
+    (energy-only collapses toward HVT minimal structures, delay-only
+    toward wide LVT arrays, ED^2 weights performance harder). *)
+
+type t =
+  | Energy_delay_product
+  | Energy_delay_squared
+  | Energy_only
+  | Delay_only
+
+val name : t -> string
+
+val eval : t -> Array_model.Array_eval.metrics -> float
+(** Scalar score, lower is better. *)
+
+val all : t list

@@ -1,0 +1,77 @@
+type method_ = M1 | M2
+
+let method_name = function M1 -> "M1" | M2 -> "M2"
+
+type t = {
+  vssc_values : float array;
+  nr_values : int array;
+  n_pre_values : int array;
+  n_wr_values : int array;
+}
+
+let default =
+  { vssc_values = Array.init 25 (fun i -> -0.010 *. float_of_int i);
+    nr_values = Array.init 10 (fun i -> 1 lsl (i + 1));
+    n_pre_values = Array.init 50 (fun i -> i + 1);
+    n_wr_values = Array.init 20 (fun i -> i + 1) }
+
+let reduced =
+  { vssc_values = Array.init 9 (fun i -> -0.030 *. float_of_int i);
+    nr_values = Array.init 10 (fun i -> 1 lsl (i + 1));
+    n_pre_values = [| 1; 2; 3; 4; 6; 8; 12; 16; 24; 32; 40; 50 |];
+    n_wr_values = [| 1; 2; 3; 4; 6; 8; 12; 16; 20 |] }
+
+let merge_threshold = 0.020
+
+type pins = {
+  vddc : float;
+  vwl : float;
+  vssc_allowed : bool;
+  extra_levels : int;
+}
+
+let pins_for method_ (levels : Yield.levels) =
+  let open Yield in
+  match method_ with
+  | M1 ->
+    let v = max levels.vddc_min levels.vwl_min in
+    { vddc = v; vwl = v; vssc_allowed = false; extra_levels = 1 }
+  | M2 ->
+    if abs_float (levels.vddc_min -. levels.vwl_min) <= merge_threshold then begin
+      let v = max levels.vddc_min levels.vwl_min in
+      { vddc = v; vwl = v; vssc_allowed = true; extra_levels = 2 }
+    end
+    else
+      { vddc = levels.vddc_min; vwl = levels.vwl_min; vssc_allowed = true;
+        extra_levels = 3 }
+
+let assist_of pins ~vssc =
+  { Array_model.Components.vddc = pins.vddc;
+    vssc = (if pins.vssc_allowed then vssc else 0.0);
+    vwl = pins.vwl }
+
+let candidate_geometries ?(w = 64) space ~capacity_bits =
+  assert (Array_model.Geometry.is_power_of_two capacity_bits);
+  let geoms = ref [] in
+  Array.iter
+    (fun nr ->
+      if nr <= capacity_bits then begin
+        let nc = capacity_bits / nr in
+        if Array_model.Geometry.is_power_of_two nc then
+          Array.iter
+            (fun n_pre ->
+              Array.iter
+                (fun n_wr ->
+                  geoms :=
+                    Array_model.Geometry.create ~nr ~nc ~w ~n_pre ~n_wr ()
+                    :: !geoms)
+                space.n_wr_values)
+            space.n_pre_values
+      end)
+    space.nr_values;
+  List.rev !geoms
+
+let size ?w space ~capacity_bits method_ =
+  let geoms = List.length (candidate_geometries ?w space ~capacity_bits) in
+  let vssc = match method_ with M1 -> 1 | M2 -> Array.length space.vssc_values in
+  geoms * vssc

@@ -1,0 +1,54 @@
+(** The co-optimization search space and voltage-pin policies.
+
+    Variables (Section 4): V_SSC in {0, -10, ..., -240 mV}, n_r in
+    {2 .. 1024}, N_pre in {1 .. 50}, N_wr in {1 .. 20}; n_c = M / n_r.
+    V_DDC and V_WL are pinned by {!Yield}.
+
+    Methods (Section 5):
+    - M1: one extra voltage level only — V_DDC = V_WL = max(minimums),
+      V_SSC forced to 0;
+    - M2: unrestricted levels — V_DDC and V_WL at their own minimums
+      (merged into one level when within {!merge_threshold}, as the paper
+      does for 6T-HVT), V_SSC free. *)
+
+type method_ = M1 | M2
+
+val method_name : method_ -> string
+
+type t = {
+  vssc_values : float array;
+  nr_values : int array;
+  n_pre_values : int array;
+  n_wr_values : int array;
+}
+
+val default : t
+(** The paper's ranges. *)
+
+val reduced : t
+(** A coarser grid (every other V_SSC step, power-of-two-ish fin steps)
+    for quick runs and tests; the optimum it finds is within a few percent
+    of the full search. *)
+
+val merge_threshold : float
+(** 20 mV: V_DDC and V_WL closer than this share one pin under M2. *)
+
+type pins = {
+  vddc : float;
+  vwl : float;
+  vssc_allowed : bool;   (** false under M1 *)
+  extra_levels : int;    (** voltage pins beyond Vdd (reporting) *)
+}
+
+val pins_for : method_ -> Yield.levels -> pins
+
+val assist_of : pins -> vssc:float -> Array_model.Components.assist
+(** Clamps V_SSC to 0 when the policy forbids it. *)
+
+val candidate_geometries :
+  ?w:int -> t -> capacity_bits:int -> Array_model.Geometry.t list
+(** All (n_r, n_c = M / n_r, N_pre, N_wr) combinations with both dimensions
+    powers of two and n_r within the grid. *)
+
+val size : ?w:int -> t -> capacity_bits:int -> method_ -> int
+(** Number of design points the exhaustive search will visit. *)

@@ -1,0 +1,71 @@
+let voltage_grid = 0.010
+
+let snap_up v = ceil ((v /. voltage_grid) -. 1e-9) *. voltage_grid
+
+let cell_of ?(corner = Finfet.Corners.TT) ?(celsius = Finfet.Thermal.t_ref_celsius)
+    flavor =
+  let lib = Lazy.force Finfet.Library.default in
+  let derate d =
+    Finfet.Thermal.at_temperature ~celsius (Finfet.Corners.apply corner d)
+  in
+  Finfet.Variation.nominal_cell
+    ~nfet:(derate (Finfet.Library.nfet lib flavor))
+    ~pfet:(derate (Finfet.Library.pfet lib flavor))
+
+type levels = {
+  vddc_min : float;
+  vwl_min : float;
+  hsnm_nominal : float;
+}
+
+let rsnm_cache : (Finfet.Library.flavor * float * float * int, float) Hashtbl.t =
+  Hashtbl.create 64
+
+let rsnm_at ?(points = 81) ~flavor ~vddc ~vssc () =
+  let key = (flavor, vddc, vssc, points) in
+  match Hashtbl.find_opt rsnm_cache key with
+  | Some v -> v
+  | None ->
+    let cell = cell_of flavor in
+    let v =
+      Sram_cell.Margins.read_snm ~points ~cell
+        (Sram_cell.Sram6t.read ~vddc ~vssc ())
+    in
+    Hashtbl.add rsnm_cache key v;
+    v
+
+let solve ?(delta = Finfet.Tech.min_margin) ?(points = 81) ?corner ?celsius
+    ~flavor () =
+  let cell = cell_of ?corner ?celsius flavor in
+  let vdd = Finfet.Tech.vdd_nominal in
+  (* RSNM grows monotonically with V_DDC (stronger pull-down feedback). *)
+  let rsnm_gap vddc =
+    Sram_cell.Margins.read_snm ~points ~cell (Sram_cell.Sram6t.read ~vddc ())
+    -. delta
+  in
+  let vddc_min =
+    if rsnm_gap vdd >= 0.0 then vdd
+    else snap_up (Numerics.Roots.bisect ~tol:1e-3 rsnm_gap ~lo:vdd ~hi:0.80)
+  in
+  (* WM(v_wl) = v_wl - minimum flipping level, so the minimum write level
+     is one bisection of the flip point away. *)
+  let flip =
+    Sram_cell.Margins.minimum_flipping_vwl ~cell (Sram_cell.Sram6t.write0 ())
+  in
+  let vwl_min = max vdd (snap_up (flip +. delta)) in
+  let hsnm_nominal = Sram_cell.Margins.hold_snm ~points ~cell vdd in
+  { vddc_min; vwl_min; hsnm_nominal }
+
+let margins_ok ?(delta = Finfet.Tech.min_margin) ?(points = 81) ~flavor ~vddc
+    ~vssc ~vwl () =
+  let cell = cell_of flavor in
+  let vdd = Finfet.Tech.vdd_nominal in
+  let hsnm = Sram_cell.Margins.hold_snm ~points ~cell vdd in
+  if hsnm < delta then false
+  else if rsnm_at ~points ~flavor ~vddc ~vssc () < delta then false
+  else begin
+    let wm =
+      Sram_cell.Margins.write_margin ~cell (Sram_cell.Sram6t.write0 ~vwl ())
+    in
+    wm >= delta
+  end

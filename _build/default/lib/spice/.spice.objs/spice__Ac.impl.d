@@ -1,0 +1,1 @@
+lib/spice/ac.ml: Array Dc Float List Netlist Numerics

@@ -1,0 +1,1 @@
+lib/spice/deck.ml: Buffer Char Finfet List Netlist Printf String

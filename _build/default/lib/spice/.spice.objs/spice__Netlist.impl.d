@@ -1,0 +1,1 @@
+lib/spice/netlist.ml: Array Finfet List Printf

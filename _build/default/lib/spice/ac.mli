@@ -1,0 +1,48 @@
+(** Small-signal (AC) frequency-domain analysis.
+
+    The netlist is linearized at its DC operating point: resistors and
+    transistor transconductances populate the G matrix (via
+    {!Dc.small_signal_conductance}), capacitors the C matrix, and the
+    complex system (G + j omega C) x = b is solved per frequency as the
+    equivalent 2n real system — reusing the sparse LU.
+
+    The stimulus is one voltage source driven with a unit AC amplitude;
+    every other source is AC-grounded (its DC level only sets the
+    operating point), exactly SPICE's `.AC` semantics. *)
+
+type point = {
+  frequency : float;   (** Hz *)
+  magnitude : float;   (** |V(output)| per unit stimulus *)
+  phase : float;       (** radians, in (-pi, pi] *)
+}
+
+val at_frequency :
+  Netlist.t -> source_index:int -> output:Netlist.node -> frequency:float ->
+  point
+(** One solve.  [source_index] counts voltage sources in insertion order.
+    @raise Invalid_argument on a bad source index or output node. *)
+
+val sweep :
+  ?points_per_decade:int ->
+  Netlist.t ->
+  source_index:int ->
+  output:Netlist.node ->
+  f_start:float ->
+  f_stop:float ->
+  point list
+(** Logarithmic sweep (default 10 points/decade), endpoints included. *)
+
+val dc_gain :
+  Netlist.t -> source_index:int -> output:Netlist.node -> float
+(** Signed low-frequency gain (the omega = 0 solve, real-valued). *)
+
+val corner_frequency :
+  ?points_per_decade:int ->
+  Netlist.t ->
+  source_index:int ->
+  output:Netlist.node ->
+  f_start:float ->
+  f_stop:float ->
+  float option
+(** First frequency at which the magnitude falls to 1/sqrt(2) of the DC
+    gain (interpolated between sweep points). *)

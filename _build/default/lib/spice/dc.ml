@@ -1,0 +1,318 @@
+type solution = {
+  voltages : float array;
+  source_currents : float array;
+  converged : bool;
+  iterations : int;
+}
+
+let gmin = 1e-12
+
+(* Shared MNA assembly.  The unknown vector is
+   [v_1 .. v_{n-1}; i_src_1 .. i_src_m].  [companions] replaces capacitors
+   by (conductance, equivalent history voltage) pairs for transient steps;
+   in pure DC capacitors are open. *)
+type companion = { g_eq : float; v_hist : float }
+
+let node_v x node = if node = 0 then 0.0 else x.(node - 1)
+
+let residual ~netlist ~at_time ~source_scale ~companions x =
+  let n = Netlist.num_nodes netlist in
+  let res = Array.make (n - 1 + Netlist.vsource_count netlist) 0.0 in
+  let kcl node amount = if node <> 0 then res.(node - 1) <- res.(node - 1) +. amount in
+  (* gmin keeps floating nodes well-posed *)
+  for node = 1 to n - 1 do
+    kcl node (gmin *. x.(node - 1))
+  done;
+  let src_index = ref 0 in
+  let cap_index = ref 0 in
+  let visit e =
+    match e with
+    | Netlist.Resistor { plus; minus; ohms } ->
+      let i = (node_v x plus -. node_v x minus) /. ohms in
+      kcl plus i;
+      kcl minus (-.i)
+    | Netlist.Capacitor { plus; minus; _ } ->
+      (match companions with
+       | None -> ()
+       | Some comps ->
+         let { g_eq; v_hist } = comps.(!cap_index) in
+         incr cap_index;
+         let i = g_eq *. (node_v x plus -. node_v x minus -. v_hist) in
+         kcl plus i;
+         kcl minus (-.i))
+    | Netlist.Vsource { plus; minus; volts } ->
+      let k = !src_index in
+      incr src_index;
+      let i = x.(n - 1 + k) in
+      kcl plus i;
+      kcl minus (-.i);
+      let target = source_scale *. Netlist.waveform_at volts at_time in
+      res.(n - 1 + k) <- node_v x plus -. node_v x minus -. target
+    | Netlist.Isource { from_node; to_node; amps } ->
+      let i = source_scale *. amps in
+      kcl from_node i;
+      kcl to_node (-.i)
+    | Netlist.Fet { params; nfin; gate; drain; source } ->
+      let i =
+        Finfet.Device.drain_source_current params ~nfin ~vg:(node_v x gate)
+          ~vd:(node_v x drain) ~vs:(node_v x source)
+      in
+      kcl drain i;
+      kcl source (-.i)
+  in
+  List.iter visit (Netlist.elements netlist);
+  res
+
+let jacobian ~netlist ~companions x =
+  let n = Netlist.num_nodes netlist in
+  let dim = n - 1 + Netlist.vsource_count netlist in
+  let jac = Numerics.Matrix.create ~rows:dim ~cols:dim in
+  let stamp_kcl node col g =
+    if node <> 0 && col >= 0 then Numerics.Matrix.add_to jac (node - 1) col g
+  in
+  let vcol node = node - 1 in
+  for node = 1 to n - 1 do
+    stamp_kcl node (vcol node) gmin
+  done;
+  let src_index = ref 0 in
+  let cap_index = ref 0 in
+  let visit e =
+    match e with
+    | Netlist.Resistor { plus; minus; ohms } ->
+      let g = 1.0 /. ohms in
+      if plus <> 0 then begin
+        stamp_kcl plus (vcol plus) g;
+        if minus <> 0 then stamp_kcl plus (vcol minus) (-.g)
+      end;
+      if minus <> 0 then begin
+        stamp_kcl minus (vcol minus) g;
+        if plus <> 0 then stamp_kcl minus (vcol plus) (-.g)
+      end
+    | Netlist.Capacitor { plus; minus; _ } ->
+      (match companions with
+       | None -> ()
+       | Some comps ->
+         let { g_eq; _ } = comps.(!cap_index) in
+         incr cap_index;
+         if plus <> 0 then begin
+           stamp_kcl plus (vcol plus) g_eq;
+           if minus <> 0 then stamp_kcl plus (vcol minus) (-.g_eq)
+         end;
+         if minus <> 0 then begin
+           stamp_kcl minus (vcol minus) g_eq;
+           if plus <> 0 then stamp_kcl minus (vcol plus) (-.g_eq)
+         end)
+    | Netlist.Vsource { plus; minus; _ } ->
+      let k = !src_index in
+      incr src_index;
+      let row = n - 1 + k in
+      (* Branch current enters the KCL rows... *)
+      if plus <> 0 then Numerics.Matrix.add_to jac (plus - 1) row 1.0;
+      if minus <> 0 then Numerics.Matrix.add_to jac (minus - 1) row (-1.0);
+      (* ...and the source's constraint row pins the terminal difference. *)
+      if plus <> 0 then Numerics.Matrix.add_to jac row (vcol plus) 1.0;
+      if minus <> 0 then Numerics.Matrix.add_to jac row (vcol minus) (-1.0)
+    | Netlist.Isource _ -> ()
+    | Netlist.Fet { params; nfin; gate; drain; source } ->
+      (* Local finite-difference transconductances. *)
+      let h = 1e-7 in
+      let vg = node_v x gate and vd = node_v x drain and vs = node_v x source in
+      let i0 = Finfet.Device.drain_source_current params ~nfin ~vg ~vd ~vs in
+      let gm =
+        (Finfet.Device.drain_source_current params ~nfin ~vg:(vg +. h) ~vd ~vs -. i0) /. h
+      in
+      let gds =
+        (Finfet.Device.drain_source_current params ~nfin ~vg ~vd:(vd +. h) ~vs -. i0) /. h
+      in
+      let gs =
+        (Finfet.Device.drain_source_current params ~nfin ~vg ~vd ~vs:(vs +. h) -. i0) /. h
+      in
+      if drain <> 0 then begin
+        stamp_kcl drain (vcol gate) gm;
+        stamp_kcl drain (vcol drain) gds;
+        stamp_kcl drain (vcol source) gs
+      end;
+      if source <> 0 then begin
+        stamp_kcl source (vcol gate) (-.gm);
+        stamp_kcl source (vcol drain) (-.gds);
+        stamp_kcl source (vcol source) (-.gs)
+      end
+  in
+  List.iter visit (Netlist.elements netlist);
+  jac
+
+(* Sparse mirror of the Jacobian stamps, for large netlists. *)
+let jacobian_sparse ~netlist ~companions x =
+  let n = Netlist.num_nodes netlist in
+  let dim = n - 1 + Netlist.vsource_count netlist in
+  let builder = Numerics.Sparse.Builder.create ~n:dim in
+  let stamp_kcl node col g =
+    if node <> 0 && col >= 0 then Numerics.Sparse.Builder.add builder (node - 1) col g
+  in
+  let vcol node = node - 1 in
+  for node = 1 to n - 1 do
+    stamp_kcl node (vcol node) gmin
+  done;
+  let src_index = ref 0 in
+  let cap_index = ref 0 in
+  let visit e =
+    match e with
+    | Netlist.Resistor { plus; minus; ohms } ->
+      let g = 1.0 /. ohms in
+      if plus <> 0 then begin
+        stamp_kcl plus (vcol plus) g;
+        if minus <> 0 then stamp_kcl plus (vcol minus) (-.g)
+      end;
+      if minus <> 0 then begin
+        stamp_kcl minus (vcol minus) g;
+        if plus <> 0 then stamp_kcl minus (vcol plus) (-.g)
+      end
+    | Netlist.Capacitor { plus; minus; _ } ->
+      (match companions with
+       | None -> ()
+       | Some comps ->
+         let { g_eq; _ } = comps.(!cap_index) in
+         incr cap_index;
+         if plus <> 0 then begin
+           stamp_kcl plus (vcol plus) g_eq;
+           if minus <> 0 then stamp_kcl plus (vcol minus) (-.g_eq)
+         end;
+         if minus <> 0 then begin
+           stamp_kcl minus (vcol minus) g_eq;
+           if plus <> 0 then stamp_kcl minus (vcol plus) (-.g_eq)
+         end)
+    | Netlist.Vsource { plus; minus; _ } ->
+      let k = !src_index in
+      incr src_index;
+      let row = n - 1 + k in
+      if plus <> 0 then Numerics.Sparse.Builder.add builder (plus - 1) row 1.0;
+      if minus <> 0 then Numerics.Sparse.Builder.add builder (minus - 1) row (-1.0);
+      if plus <> 0 then Numerics.Sparse.Builder.add builder row (vcol plus) 1.0;
+      if minus <> 0 then Numerics.Sparse.Builder.add builder row (vcol minus) (-1.0)
+    | Netlist.Isource _ -> ()
+    | Netlist.Fet { params; nfin; gate; drain; source } ->
+      let h = 1e-7 in
+      let vg = node_v x gate and vd = node_v x drain and vs = node_v x source in
+      let i0 = Finfet.Device.drain_source_current params ~nfin ~vg ~vd ~vs in
+      let gm =
+        (Finfet.Device.drain_source_current params ~nfin ~vg:(vg +. h) ~vd ~vs -. i0) /. h
+      in
+      let gds =
+        (Finfet.Device.drain_source_current params ~nfin ~vg ~vd:(vd +. h) ~vs -. i0) /. h
+      in
+      let gs =
+        (Finfet.Device.drain_source_current params ~nfin ~vg ~vd ~vs:(vs +. h) -. i0) /. h
+      in
+      if drain <> 0 then begin
+        stamp_kcl drain (vcol gate) gm;
+        stamp_kcl drain (vcol drain) gds;
+        stamp_kcl drain (vcol source) gs
+      end;
+      if source <> 0 then begin
+        stamp_kcl source (vcol gate) (-.gm);
+        stamp_kcl source (vcol drain) (-.gds);
+        stamp_kcl source (vcol source) (-.gs)
+      end
+  in
+  List.iter visit (Netlist.elements netlist);
+  Numerics.Sparse.of_builder builder
+
+let sparse_dimension_threshold = 80
+
+let sparse_step ~netlist ~companions x neg_f =
+  (* Retry with growing diagonal regularization on singular systems, the
+     sparse counterpart of the dense gmin stepping. *)
+  let dim = Array.length neg_f in
+  let rec attempt extra_gmin =
+    let base = jacobian_sparse ~netlist ~companions x in
+    let jac =
+      if extra_gmin = 0.0 then base
+      else begin
+        let b = Numerics.Sparse.Builder.create ~n:dim in
+        Numerics.Sparse.iter base (fun i j v -> Numerics.Sparse.Builder.add b i j v);
+        for i = 0 to dim - 1 do
+          Numerics.Sparse.Builder.add b i i extra_gmin
+        done;
+        Numerics.Sparse.of_builder b
+      end
+    in
+    match Numerics.Sparse_lu.solve jac neg_f with
+    | dx -> dx
+    | exception Numerics.Lu.Singular ->
+      if extra_gmin > 1.0 then Array.make dim 0.0
+      else attempt (if extra_gmin = 0.0 then 1e-12 else extra_gmin *. 100.0)
+  in
+  attempt 0.0
+
+let solve_scaled ~netlist ~at_time ~source_scale ~companions ~x0 =
+  let dim = Array.length x0 in
+  if dim >= sparse_dimension_threshold then
+    Numerics.Newton.solve_custom ~tol:1e-12 ~max_iter:150 ~max_step:0.15
+      ~residual:(residual ~netlist ~at_time ~source_scale ~companions)
+      ~solve_step:(sparse_step ~netlist ~companions)
+      ~x0 ()
+  else
+    Numerics.Newton.solve ~tol:1e-12 ~max_iter:150 ~max_step:0.15
+      ~residual:(residual ~netlist ~at_time ~source_scale ~companions)
+      ~jacobian:(jacobian ~netlist ~companions)
+      ~x0 ()
+
+let unpack netlist (result : Numerics.Newton.result) ~iterations =
+  let n = Netlist.num_nodes netlist in
+  let voltages = Array.make n 0.0 in
+  Array.blit result.Numerics.Newton.x 0 voltages 1 (n - 1);
+  let source_currents =
+    Array.sub result.Numerics.Newton.x (n - 1) (Netlist.vsource_count netlist)
+  in
+  { voltages; source_currents;
+    converged = result.Numerics.Newton.converged;
+    iterations }
+
+let solve_with_companions ?x0 ?(at_time = 0.0) ~companions netlist =
+  (match Netlist.validate netlist with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Dc.operating_point: " ^ msg));
+  let dim = Netlist.num_nodes netlist - 1 + Netlist.vsource_count netlist in
+  let start = match x0 with Some v -> Array.copy v | None -> Array.make dim 0.0 in
+  let direct = solve_scaled ~netlist ~at_time ~source_scale:1.0 ~companions ~x0:start in
+  if direct.Numerics.Newton.converged then
+    unpack netlist direct ~iterations:direct.Numerics.Newton.iterations
+  else begin
+    (* Source stepping: ramp every source from zero, warm-starting. *)
+    let scales = [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ] in
+    let x = ref (Array.make dim 0.0) in
+    let total = ref direct.Numerics.Newton.iterations in
+    let last = ref direct in
+    List.iter
+      (fun scale ->
+        let r = solve_scaled ~netlist ~at_time ~source_scale:scale ~companions ~x0:!x in
+        total := !total + r.Numerics.Newton.iterations;
+        x := r.Numerics.Newton.x;
+        last := r)
+      scales;
+    unpack netlist !last ~iterations:!total
+  end
+
+let operating_point ?x0 ?(at_time = 0.0) netlist =
+  solve_with_companions ?x0 ~at_time ~companions:None netlist
+
+let operating_point_companioned ?x0 ~at_time ~companions netlist =
+  solve_with_companions ?x0 ~at_time ~companions:(Some companions) netlist
+
+let solution_vector s =
+  Array.append (Array.sub s.voltages 1 (Array.length s.voltages - 1)) s.source_currents
+
+let small_signal_conductance netlist s =
+  jacobian_sparse ~netlist ~companions:None (solution_vector s)
+
+let sweep ~build ~points =
+  let prev = ref None in
+  Array.map
+    (fun p ->
+      let netlist = build p in
+      let s = operating_point ?x0:!prev netlist in
+      prev := Some (solution_vector s);
+      s)
+    points
+
+let node_voltage s node = s.voltages.(node)

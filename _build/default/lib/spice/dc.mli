@@ -1,0 +1,58 @@
+(** DC operating-point analysis (the MNA solve at the heart of every
+    butterfly curve, margin extraction and leakage measurement).
+
+    Unknowns are the non-ground node voltages plus one branch current per
+    voltage source (modified nodal analysis).  The nonlinear system is
+    solved by damped Newton with a voltage-scale trust region; when the
+    flat start fails to converge, the solver ramps all sources from zero
+    (source stepping), warm-starting each step. *)
+
+type solution = {
+  voltages : float array;
+      (** Indexed by node id, [voltages.(0) = 0] (ground). *)
+  source_currents : float array;
+      (** One per voltage source, in netlist insertion order; positive
+          current flows into the + terminal and through the source. *)
+  converged : bool;
+  iterations : int;  (** Total Newton iterations across all ramp steps. *)
+}
+
+val gmin : float
+(** Conductance tied from every node to ground (1e-12 S) so that floating
+    gates are well-posed. *)
+
+val operating_point :
+  ?x0:float array -> ?at_time:float -> Netlist.t -> solution
+(** Solve the operating point with sources evaluated at [at_time]
+    (default 0).  [x0] warm-starts the Newton iteration (layout: node
+    voltages 1..n-1, then source currents). *)
+
+val solution_vector : solution -> float array
+(** Repack a solution as a warm-start vector for {!operating_point}. *)
+
+val sweep :
+  build:(float -> Netlist.t) -> points:float array -> solution array
+(** [sweep ~build ~points] solves [build p] for each point, warm-starting
+    each solve from the previous solution (the netlist structure must not
+    change between points).  This is the primitive behind VTC and butterfly
+    curves. *)
+
+val node_voltage : solution -> Netlist.node -> float
+
+(** {1 Transient backend hook} *)
+
+type companion = { g_eq : float; v_hist : float }
+(** Backward-Euler companion model of a capacitor: a conductance
+    [g_eq = C/h] in parallel with the history term, so the stamped current
+    is [g_eq * (v - v_hist)]. *)
+
+val operating_point_companioned :
+  ?x0:float array -> at_time:float -> companions:companion array ->
+  Netlist.t -> solution
+(** Operating point with every capacitor replaced by its companion model,
+    in netlist insertion order.  Used by {!Transient}; exposed for tests. *)
+
+val small_signal_conductance : Netlist.t -> solution -> Numerics.Sparse.t
+(** The MNA Jacobian linearized at the operating point, capacitors open —
+    the G matrix of AC analysis ({!Ac}).  Includes the voltage-source
+    constraint rows and the gmin ties. *)

@@ -1,0 +1,244 @@
+type bindings = (string * Netlist.node) list
+
+(* --- values --- *)
+
+let suffixes =
+  [ ("meg", 1e6); ("f", 1e-15); ("p", 1e-12); ("n", 1e-9); ("u", 1e-6);
+    ("m", 1e-3); ("k", 1e3); ("g", 1e9) ]
+
+let parse_value raw =
+  let s = String.lowercase_ascii (String.trim raw) in
+  if s = "" then Error "empty value"
+  else begin
+    let try_suffix (suffix, scale) =
+      let ls = String.length s and lx = String.length suffix in
+      if ls > lx && String.sub s (ls - lx) lx = suffix then
+        match float_of_string_opt (String.sub s 0 (ls - lx)) with
+        | Some v -> Some (v *. scale)
+        | None -> None
+      else None
+    in
+    (* "meg" must be tried before "m"/"g". *)
+    match List.find_map try_suffix suffixes with
+    | Some v -> Ok v
+    | None ->
+      (match float_of_string_opt s with
+       | Some v -> Ok v
+       | None -> Error (Printf.sprintf "bad value %S" raw))
+  end
+
+(* --- parsing --- *)
+
+let is_ground name =
+  match String.lowercase_ascii name with "0" | "gnd" -> true | _ -> false
+
+let tokenize line =
+  (* Split on blanks but keep PWL(...) together by first normalizing the
+     parenthesized group: remove spaces around '(' ')' then split the
+     argument list separately where needed. *)
+  String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)
+  |> List.filter (fun t -> t <> "")
+
+let model_of_name lib name =
+  match String.lowercase_ascii name with
+  | "nfet_lvt" -> Some (Finfet.Library.nfet lib Finfet.Library.Lvt)
+  | "nfet_hvt" -> Some (Finfet.Library.nfet lib Finfet.Library.Hvt)
+  | "pfet_lvt" -> Some (Finfet.Library.pfet lib Finfet.Library.Lvt)
+  | "pfet_hvt" -> Some (Finfet.Library.pfet lib Finfet.Library.Hvt)
+  | _ -> None
+
+type state = {
+  netlist : Netlist.t;
+  mutable names : bindings;
+}
+
+let resolve st name =
+  if is_ground name then Netlist.ground
+  else
+    match List.assoc_opt name st.names with
+    | Some node -> node
+    | None ->
+      let node = Netlist.fresh_node st.netlist name in
+      st.names <- (name, node) :: st.names;
+      node
+
+let parse_pwl body =
+  (* body looks like "PWL(0 0 1n 0.45)" (already joined). *)
+  let inner =
+    match String.index_opt body '(' with
+    | Some i when body.[String.length body - 1] = ')' ->
+      String.sub body (i + 1) (String.length body - i - 2)
+    | Some _ | None -> ""
+  in
+  let tokens = tokenize inner in
+  let rec pair = function
+    | [] -> Ok []
+    | t :: v :: rest ->
+      (match (parse_value t, parse_value v) with
+       | Ok time, Ok volts ->
+         (match pair rest with
+          | Ok tail -> Ok ((time, volts) :: tail)
+          | Error e -> Error e)
+       | Error e, _ | _, Error e -> Error e)
+    | [ _ ] -> Error "PWL needs an even number of values"
+  in
+  match pair tokens with
+  | Ok [] -> Error "empty PWL"
+  | Ok corners -> Ok (Netlist.Pwl corners)
+  | Error e -> Error e
+
+let parse_source_spec tokens =
+  (* [DC v] or [PWL(...)] possibly split across tokens. *)
+  match tokens with
+  | [ dc; v ] when String.uppercase_ascii dc = "DC" ->
+    (match parse_value v with
+     | Ok volts -> Ok (Netlist.Const volts)
+     | Error e -> Error e)
+  | [ v ] when String.length v >= 3
+            && String.uppercase_ascii (String.sub v 0 3) = "PWL" ->
+    parse_pwl v
+  | pwl_tokens
+    when pwl_tokens <> []
+      && String.length (List.hd pwl_tokens) >= 3
+      && String.uppercase_ascii (String.sub (List.hd pwl_tokens) 0 3) = "PWL" ->
+    parse_pwl (String.concat " " pwl_tokens)
+  | [ v ] ->
+    (match parse_value v with
+     | Ok volts -> Ok (Netlist.Const volts)
+     | Error e -> Error e)
+  | _ -> Error "expected DC <v> or PWL(...)"
+
+let parse_fin_count token =
+  let lower = String.lowercase_ascii token in
+  if String.length lower > 5 && String.sub lower 0 5 = "nfin=" then
+    match int_of_string_opt (String.sub lower 5 (String.length lower - 5)) with
+    | Some k when k > 0 -> Ok k
+    | Some _ | None -> Error (Printf.sprintf "bad fin count %S" token)
+  else Error (Printf.sprintf "unexpected token %S" token)
+
+let parse ~lib text =
+  let st = { netlist = Netlist.create (); names = [] } in
+  let error line msg = Error (Printf.sprintf "%s (in %S)" msg line) in
+  let parse_line line =
+    let trimmed = String.trim line in
+    if trimmed = "" || trimmed.[0] = '*' then Ok ()
+    else if String.lowercase_ascii trimmed = ".end" then Ok ()
+    else begin
+      match tokenize trimmed with
+      | [] -> Ok ()
+      | name :: rest ->
+        (match (Char.uppercase_ascii name.[0], rest) with
+         | 'R', [ a; b; v ] ->
+           (match parse_value v with
+            | Ok ohms ->
+              Netlist.resistor st.netlist ~plus:(resolve st a) ~minus:(resolve st b) ~ohms;
+              Ok ()
+            | Error e -> error line e)
+         | 'C', [ a; b; v ] ->
+           (match parse_value v with
+            | Ok farads ->
+              Netlist.capacitor st.netlist ~plus:(resolve st a) ~minus:(resolve st b) ~farads;
+              Ok ()
+            | Error e -> error line e)
+         | 'V', a :: b :: spec ->
+           (match parse_source_spec spec with
+            | Ok wave ->
+              Netlist.vwave st.netlist ~plus:(resolve st a) ~minus:(resolve st b) ~wave;
+              Ok ()
+            | Error e -> error line e)
+         | 'I', [ a; b; v ] | 'I', [ a; b; "DC"; v ] | 'I', [ a; b; "dc"; v ] ->
+           (match parse_value v with
+            | Ok amps ->
+              Netlist.idc st.netlist ~from_node:(resolve st a) ~to_node:(resolve st b) ~amps;
+              Ok ()
+            | Error e -> error line e)
+         | 'M', d :: g :: s :: model :: fins ->
+           (match model_of_name lib model with
+            | None -> error line (Printf.sprintf "unknown model %S" model)
+            | Some params ->
+              let nfin =
+                match fins with
+                | [] -> Ok 1
+                | [ token ] -> parse_fin_count token
+                | _ -> Error "too many tokens after the model"
+              in
+              (match nfin with
+               | Ok nfin ->
+                 Netlist.fet st.netlist ~params ~nfin ~gate:(resolve st g)
+                   ~drain:(resolve st d) ~source:(resolve st s) ();
+                 Ok ()
+               | Error e -> error line e))
+         | _ -> error line "unrecognized element")
+    end
+  in
+  let rec run = function
+    | [] ->
+      (match Netlist.validate st.netlist with
+       | Ok () -> Ok (st.netlist, List.rev st.names)
+       | Error e -> Error e)
+    | line :: rest ->
+      (match parse_line line with Ok () -> run rest | Error e -> Error e)
+  in
+  run (String.split_on_char '\n' text)
+
+let node bindings name =
+  if is_ground name then Some Netlist.ground else List.assoc_opt name bindings
+
+(* --- printing --- *)
+
+let canonical_model params =
+  (* Map back to the deck's model vocabulary via the polarity + name. *)
+  let name = String.lowercase_ascii params.Finfet.Device.name in
+  let has sub =
+    let n = String.length sub and h = String.length name in
+    let rec go i = i + n <= h && (String.sub name i n = sub || go (i + 1)) in
+    go 0
+  in
+  match (params.Finfet.Device.polarity, has "hvt") with
+  | Finfet.Device.Nfet, true -> "nfet_hvt"
+  | Finfet.Device.Nfet, false -> "nfet_lvt"
+  | Finfet.Device.Pfet, true -> "pfet_hvt"
+  | Finfet.Device.Pfet, false -> "pfet_lvt"
+
+let print netlist =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "* generated by Spice.Deck.print\n";
+  let name node = if node = 0 then "0" else Netlist.node_name netlist node in
+  let counter = ref 0 in
+  let fresh prefix =
+    incr counter;
+    Printf.sprintf "%s%d" prefix !counter
+  in
+  List.iter
+    (fun element ->
+      let line =
+        match element with
+        | Netlist.Resistor { plus; minus; ohms } ->
+          Printf.sprintf "%s %s %s %.9g" (fresh "R") (name plus) (name minus) ohms
+        | Netlist.Capacitor { plus; minus; farads } ->
+          Printf.sprintf "%s %s %s %.9g" (fresh "C") (name plus) (name minus) farads
+        | Netlist.Vsource { plus; minus; volts = Netlist.Const v } ->
+          Printf.sprintf "%s %s %s DC %.9g" (fresh "V") (name plus) (name minus) v
+        | Netlist.Vsource { plus; minus; volts = Netlist.Pwl corners } ->
+          Printf.sprintf "%s %s %s PWL(%s)" (fresh "V") (name plus) (name minus)
+            (String.concat " "
+               (List.concat_map
+                  (fun (t, v) -> [ Printf.sprintf "%.9g" t; Printf.sprintf "%.9g" v ])
+                  corners))
+        | Netlist.Vsource
+            { plus; minus; volts = Netlist.Step { t_delay; t_rise; v0; v1 } } ->
+          (* Steps print as the equivalent PWL. *)
+          Printf.sprintf "%s %s %s PWL(0 %.9g %.9g %.9g %.9g %.9g)" (fresh "V")
+            (name plus) (name minus) v0 t_delay v0 (t_delay +. max t_rise 1e-15) v1
+        | Netlist.Isource { from_node; to_node; amps } ->
+          Printf.sprintf "%s %s %s DC %.9g" (fresh "I") (name from_node)
+            (name to_node) amps
+        | Netlist.Fet { params; nfin; gate; drain; source } ->
+          Printf.sprintf "%s %s %s %s %s nfin=%d" (fresh "M") (name drain)
+            (name gate) (name source) (canonical_model params) nfin
+      in
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    (Netlist.elements netlist);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf

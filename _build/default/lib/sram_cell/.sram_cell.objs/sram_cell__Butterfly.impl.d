@@ -1,0 +1,1 @@
+lib/sram_cell/butterfly.ml: Array Numerics Spice Sram6t

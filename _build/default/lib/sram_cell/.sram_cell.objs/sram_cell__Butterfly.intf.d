@@ -1,0 +1,1 @@
+lib/sram_cell/butterfly.mli: Finfet Sram6t

@@ -1,0 +1,1 @@
+lib/sram_cell/column.ml: Device Finfet Float Lazy List Netlist Printf Spice Sram6t Tech Variation

@@ -1,0 +1,1 @@
+lib/sram_cell/column.mli: Finfet Sram6t

@@ -1,0 +1,1 @@
+lib/sram_cell/dynamic_stability.ml: Array Spice Sram6t

@@ -1,0 +1,1 @@
+lib/sram_cell/dynamic_stability.mli: Finfet Sram6t

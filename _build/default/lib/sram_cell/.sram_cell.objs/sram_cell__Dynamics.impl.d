@@ -1,0 +1,1 @@
+lib/sram_cell/dynamics.ml: Array Spice Sram6t

@@ -1,0 +1,1 @@
+lib/sram_cell/dynamics.mli: Finfet Sram6t

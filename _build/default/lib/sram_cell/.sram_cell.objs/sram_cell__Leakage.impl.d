@@ -1,0 +1,1 @@
+lib/sram_cell/leakage.ml: Array Finfet List Spice Sram6t

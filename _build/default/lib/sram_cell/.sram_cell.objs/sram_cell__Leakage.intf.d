@@ -1,0 +1,1 @@
+lib/sram_cell/leakage.mli: Finfet Sram6t

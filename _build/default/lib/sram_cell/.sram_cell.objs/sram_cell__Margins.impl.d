@@ -1,0 +1,1 @@
+lib/sram_cell/margins.ml: Butterfly Sram6t

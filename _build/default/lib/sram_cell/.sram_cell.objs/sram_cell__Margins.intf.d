@@ -1,0 +1,1 @@
+lib/sram_cell/margins.mli: Finfet Sram6t

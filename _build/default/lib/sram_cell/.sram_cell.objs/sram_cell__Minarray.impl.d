@@ -1,0 +1,1 @@
+lib/sram_cell/minarray.ml: Array Finfet Float Netlist Printf Spice Sram6t Transient

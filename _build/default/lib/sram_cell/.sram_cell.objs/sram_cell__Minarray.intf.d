@@ -1,0 +1,1 @@
+lib/sram_cell/minarray.mli: Finfet Sram6t

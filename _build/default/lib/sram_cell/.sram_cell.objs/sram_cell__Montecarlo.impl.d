@@ -1,0 +1,1 @@
+lib/sram_cell/montecarlo.ml: Array Finfet Margins Numerics Sram6t

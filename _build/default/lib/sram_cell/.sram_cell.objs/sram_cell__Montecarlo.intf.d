@@ -1,0 +1,1 @@
+lib/sram_cell/montecarlo.mli: Finfet Sram6t

@@ -1,0 +1,1 @@
+lib/sram_cell/retention.ml: Finfet Leakage Margins Numerics

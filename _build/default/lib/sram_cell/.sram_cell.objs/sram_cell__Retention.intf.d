@@ -1,0 +1,1 @@
+lib/sram_cell/retention.mli: Finfet

@@ -1,0 +1,1 @@
+lib/sram_cell/sram6t.mli: Finfet Spice

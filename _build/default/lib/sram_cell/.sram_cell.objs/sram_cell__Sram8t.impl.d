@@ -1,0 +1,1 @@
+lib/sram_cell/sram8t.ml: Array Dc Finfet List Margins Netlist Spice

@@ -1,0 +1,1 @@
+lib/sram_cell/sram8t.mli: Finfet Sram6t

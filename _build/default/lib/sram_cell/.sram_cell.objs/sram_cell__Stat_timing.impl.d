@@ -1,0 +1,1 @@
+lib/sram_cell/stat_timing.ml: Array Column Finfet Numerics Sram6t

@@ -1,0 +1,1 @@
+lib/sram_cell/stat_timing.mli: Column Finfet Sram6t

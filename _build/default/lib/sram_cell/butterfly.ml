@@ -1,0 +1,82 @@
+type vtc = { inputs : float array; outputs : float array }
+
+let trace_vtc ?(points = 81) ~cell ~side ~access_on condition =
+  assert (points >= 2);
+  let lo = min condition.Sram6t.vssc 0.0 in
+  let hi = condition.Sram6t.vddc in
+  let inputs =
+    Array.init points (fun i ->
+        lo +. ((hi -. lo) *. float_of_int i /. float_of_int (points - 1)))
+  in
+  let build vin =
+    let netlist, _out = Sram6t.build_half_vtc ~cell ~side ~access_on condition ~vin in
+    netlist
+  in
+  (* The output node is always the second allocated node of the half-cell
+     netlist; re-fetch it once for voltage extraction. *)
+  let _, out_node = Sram6t.build_half_vtc ~cell ~side ~access_on condition ~vin:lo in
+  let solutions = Spice.Dc.sweep ~build ~points:inputs in
+  let outputs = Array.map (fun s -> Spice.Dc.node_voltage s out_node) solutions in
+  { inputs; outputs }
+
+type butterfly = { curve_r : vtc; curve_l : vtc }
+
+let trace ?points ~cell ~access_on condition =
+  { curve_r = trace_vtc ?points ~cell ~side:`Right ~access_on condition;
+    curve_l = trace_vtc ?points ~cell ~side:`Left ~access_on condition }
+
+type snm = { lobe_high : float; lobe_low : float }
+
+(* Largest square in the eye bounded above by [upper] (y = u(x)) and on the
+   lower-left by [lower] (x = l(y)).  Both touching corners of the maximal
+   square lie on a common 45-degree line y = x + b; the square side equals
+   the horizontal distance between the two intersection points.  We scan b
+   and keep the best. *)
+let lobe ~upper ~lower =
+  let u = Numerics.Interp.pchip ~xs:upper.inputs ~ys:upper.outputs in
+  let l = Numerics.Interp.pchip ~xs:lower.inputs ~ys:lower.outputs in
+  let lo = upper.inputs.(0) in
+  let hi = upper.inputs.(Array.length upper.inputs - 1) in
+  let span = hi -. lo in
+  let side_at b =
+    (* Intersection with the upper curve: u(x) = x + b. *)
+    let g x = u x -. x -. b in
+    (* Intersection with the lower curve: point (l(y), y) on the line means
+       l(y) = y - b. *)
+    let h y = l y -. y +. b in
+    match
+      ( Numerics.Roots.find_bracket g ~lo ~hi ~n:64,
+        Numerics.Roots.find_bracket h ~lo ~hi ~n:64 )
+    with
+    | Some (glo, ghi), Some (hlo, hhi) ->
+      let x1 = Numerics.Roots.brent ~tol:1e-9 g ~lo:glo ~hi:ghi in
+      let y2 = Numerics.Roots.brent ~tol:1e-9 h ~lo:hlo ~hi:hhi in
+      let x2 = y2 -. b in
+      x1 -. x2
+    | None, (Some _ | None) | Some _, None -> neg_infinity
+  in
+  let best = ref 0.0 in
+  let steps = 160 in
+  for k = 1 to steps - 1 do
+    let b = span *. float_of_int k /. float_of_int steps in
+    let s = side_at b in
+    if s > !best then best := s
+  done;
+  !best
+
+let snm_of_butterfly { curve_r; curve_l } =
+  (* Upper-left eye: curve R bounds it from above, curve L from the
+     lower-left.  The lower-right eye is the same picture with the axes
+     swapped (a reflection across y = x), which simply exchanges the two
+     curves' roles. *)
+  let lobe_high = lobe ~upper:curve_r ~lower:curve_l in
+  let lobe_low = lobe ~upper:curve_l ~lower:curve_r in
+  { lobe_high; lobe_low }
+
+let worst_snm { lobe_high; lobe_low } = min lobe_high lobe_low
+
+let hold_snm ?points ~cell condition =
+  worst_snm (snm_of_butterfly (trace ?points ~cell ~access_on:false condition))
+
+let read_snm ?points ~cell condition =
+  worst_snm (snm_of_butterfly (trace ?points ~cell ~access_on:true condition))

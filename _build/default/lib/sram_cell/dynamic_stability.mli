@@ -1,0 +1,34 @@
+(** Dynamic read stability: the pulse-width dimension the paper's static
+    analysis conservatively ignores.
+
+    Static RSNM asks whether a cell survives an infinitely long read;
+    real word lines close after a pulse.  A cell whose static margin is
+    negative can still be read safely if the WL pulse is shorter than the
+    time its storage node needs to cross the trip point — which is why
+    static-margin-constrained assist levels are conservative.  This module
+    measures that flip time by transient simulation and finds the critical
+    pulse width. *)
+
+val survives_pulse :
+  ?points_per_pulse:int ->
+  cell:Finfet.Variation.cell_sample ->
+  condition:Sram6t.condition ->
+  pulse:float ->
+  unit ->
+  bool
+(** Transient a read access whose WL pulse lasts [pulse] seconds (1 ps
+    edges), from the Q = 0 hold state, and report whether the cell still
+    holds its value once the word line has closed and the cell has had an
+    equal time to resettle. *)
+
+val critical_pulse :
+  ?lo:float ->
+  ?hi:float ->
+  cell:Finfet.Variation.cell_sample ->
+  condition:Sram6t.condition ->
+  unit ->
+  float option
+(** Largest safe pulse width, found by bisection over [lo, hi] (defaults
+    1 ps .. 200 ps).  [None] when even the longest pulse is safe (the
+    statically stable case); [Some lo'] close to [lo] means the cell is
+    dynamically unusable at this condition. *)

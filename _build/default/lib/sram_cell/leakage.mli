@@ -1,0 +1,15 @@
+(** Cell leakage power in the hold state (Figure 2(b)).
+
+    The cell sits with WL off and bitlines precharged; the dissipated
+    power is the sum of the power delivered by all sources (supply rail,
+    bitline, and — negligibly — the others). *)
+
+val power :
+  ?vdd:float -> cell:Finfet.Variation.cell_sample -> unit -> float
+(** Total leakage power of one cell at the given supply (default nominal),
+    in watts. *)
+
+val power_at_condition :
+  cell:Finfet.Variation.cell_sample -> Sram6t.condition -> float
+(** Leakage under an arbitrary static condition (used to price the
+    retention cost of assist rails). *)

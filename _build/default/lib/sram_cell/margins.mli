@@ -1,0 +1,44 @@
+(** Cell-level reliability margins.
+
+    - HSNM / RSNM delegate to {!Butterfly}.
+    - The write margin follows the paper's definition [9]: the difference
+      between Vdd and the minimum WL voltage that flips the cell content.
+      A cell that cannot be written even with WL at Vdd has a negative
+      margin; one that flips with WL at 0 has WM = Vdd. *)
+
+val hold_snm :
+  ?points:int -> cell:Finfet.Variation.cell_sample -> float -> float
+(** [hold_snm ~cell vdd]: HSNM at the given supply, no assists
+    (Figure 2(a) sweep). *)
+
+val read_snm :
+  ?points:int ->
+  cell:Finfet.Variation.cell_sample ->
+  Sram6t.condition ->
+  float
+(** RSNM under a read condition (assists included via the condition). *)
+
+val flips_at_vwl :
+  cell:Finfet.Variation.cell_sample -> Sram6t.condition -> vwl:float -> bool
+(** Does a write-0 attempt at the given WL level flip a cell holding 1?
+    The bitline levels come from the condition; [vwl] overrides its WL. *)
+
+val minimum_flipping_vwl :
+  ?tol:float ->
+  cell:Finfet.Variation.cell_sample ->
+  Sram6t.condition ->
+  float
+(** Smallest WL level that flips the cell, found by bisection over
+    [0, vdd + 0.4] ([tol] defaults to 1 mV).  Clamps to the bounds when
+    the cell flips at 0 or never flips in range. *)
+
+val write_margin :
+  ?tol:float ->
+  cell:Finfet.Variation.cell_sample ->
+  Sram6t.condition ->
+  float
+(** WM = (driven WL level, i.e. [condition.vwl]) - {!minimum_flipping_vwl}:
+    the wordline headroom above the flip point.  Driving WL at nominal Vdd
+    recovers the paper's base definition; raising [condition.vwl] models
+    the WL-overdrive assist (Figure 5(a)), and lowering [condition.vbl]
+    models negative-BL (Figure 5(b)). *)

@@ -1,0 +1,37 @@
+(** Standby / data-retention analysis.
+
+    The paper's Figure 2 argument — Vdd scaling saves less leakage than
+    switching to HVT — naturally extends to the standby question a memory
+    designer asks next: how low can the retention rail drop, and what does
+    a drowsy-standby mode save?  This module answers both with the same
+    butterfly and leakage machinery. *)
+
+val retention_voltage :
+  ?margin_fraction:float ->
+  ?points:int ->
+  ?tol:float ->
+  cell:Finfet.Variation.cell_sample ->
+  unit ->
+  float
+(** Minimum supply at which the hold SNM still exceeds
+    [margin_fraction] x Vdd (default: the technology rule, 0.35).
+    Bisection over the monotone HSNM/Vdd-fraction curve; [tol] is the
+    voltage resolution (default 2 mV).  Returns the technology nominal if
+    even that fails (degenerate cells under heavy variation). *)
+
+type standby_summary = {
+  v_retention : float;      (** solved retention supply *)
+  v_standby : float;        (** retention + guard band *)
+  p_active : float;         (** leakage at nominal Vdd, W/cell *)
+  p_standby : float;        (** leakage at the standby rail, W/cell *)
+  savings : float;          (** 1 - p_standby / p_active *)
+}
+
+val standby :
+  ?guard_band:float ->
+  ?points:int ->
+  cell:Finfet.Variation.cell_sample ->
+  unit ->
+  standby_summary
+(** Drowsy-mode summary with a [guard_band] (default 50 mV) above the
+    solved retention voltage. *)

@@ -1,0 +1,1 @@
+lib/workload/sensitivity.ml: Array_model Finfet List Opt Trace

@@ -1,0 +1,71 @@
+type access = Read | Write | Idle
+
+type profile =
+  | Uniform of { activity : float; read_fraction : float }
+  | Bursty of { burst : int; idle : int; read_fraction : float }
+  | Phased of (profile * int) list
+
+let rec emit rng profile ~cycle =
+  match profile with
+  | Uniform { activity; read_fraction } ->
+    if Numerics.Rng.uniform rng >= activity then Idle
+    else if Numerics.Rng.uniform rng < read_fraction then Read
+    else Write
+  | Bursty { burst; idle; read_fraction } ->
+    assert (burst > 0 && idle >= 0);
+    let period = burst + idle in
+    if cycle mod period >= burst then Idle
+    else if Numerics.Rng.uniform rng < read_fraction then Read
+    else Write
+  | Phased segments ->
+    assert (segments <> []);
+    let total = List.fold_left (fun acc (_, n) -> acc + n) 0 segments in
+    assert (total > 0);
+    let position = cycle mod total in
+    let rec pick offset = function
+      | [] -> assert false
+      | (p, n) :: rest ->
+        if position < offset + n then emit rng p ~cycle:(position - offset)
+        else pick (offset + n) rest
+    in
+    pick 0 segments
+
+let generate ?(seed = 1) profile ~length =
+  assert (length > 0);
+  let rng = Numerics.Rng.create ~seed in
+  Array.init length (fun cycle -> emit rng profile ~cycle)
+
+type summary = {
+  cycles : int;
+  reads : int;
+  writes : int;
+  idles : int;
+  alpha : float;
+  beta : float;
+}
+
+let characterize trace =
+  let reads = ref 0 and writes = ref 0 and idles = ref 0 in
+  Array.iter
+    (function
+      | Read -> incr reads
+      | Write -> incr writes
+      | Idle -> incr idles)
+    trace;
+  let cycles = Array.length trace in
+  let accesses = !reads + !writes in
+  { cycles;
+    reads = !reads;
+    writes = !writes;
+    idles = !idles;
+    alpha = float_of_int accesses /. float_of_int (max cycles 1);
+    beta =
+      (if accesses = 0 then 0.5
+       else float_of_int !reads /. float_of_int accesses) }
+
+let named_profiles =
+  [ ("paper", Uniform { activity = 0.5; read_fraction = 0.5 });
+    ("read-heavy", Uniform { activity = 0.8; read_fraction = 0.95 });
+    ("write-heavy", Uniform { activity = 0.6; read_fraction = 0.15 });
+    ("low-activity", Uniform { activity = 0.05; read_fraction = 0.7 });
+    ("bursty", Bursty { burst = 32; idle = 224; read_fraction = 0.6 }) ]

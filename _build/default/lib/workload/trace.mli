@@ -1,0 +1,40 @@
+(** Synthetic access traces and their reduction to the array model's
+    workload parameters.
+
+    The paper fixes the activity factor alpha = 0.5 and the read fraction
+    beta = 0.5; real memories see anything from idle-dominated sensor
+    buffers to read-saturated instruction caches.  This module generates
+    cycle-accurate operation streams from workload profiles and measures
+    the (alpha, beta) pair the analytical model consumes, so the
+    co-optimization can be run per workload ({!Sensitivity}). *)
+
+type access = Read | Write | Idle
+
+type profile =
+  | Uniform of { activity : float; read_fraction : float }
+      (** i.i.d. per cycle: P(access) = activity, then read with
+          probability read_fraction. *)
+  | Bursty of { burst : int; idle : int; read_fraction : float }
+      (** alternating busy bursts and idle gaps of fixed lengths *)
+  | Phased of (profile * int) list
+      (** concatenated sub-profiles with cycle counts *)
+
+val generate : ?seed:int -> profile -> length:int -> access array
+(** [length] cycles of the profile (Phased profiles use their own segment
+    lengths and repeat until [length] cycles are emitted). *)
+
+type summary = {
+  cycles : int;
+  reads : int;
+  writes : int;
+  idles : int;
+  alpha : float;   (** (reads + writes) / cycles *)
+  beta : float;    (** reads / (reads + writes); 0.5 for an all-idle trace *)
+}
+
+val characterize : access array -> summary
+
+val named_profiles : (string * profile) list
+(** A small benchmark suite: "paper" (alpha = beta = 0.5), "read-heavy"
+    (instruction-cache-like), "write-heavy" (log buffer), "low-activity"
+    (sensor hub), "bursty" (DMA staging). *)

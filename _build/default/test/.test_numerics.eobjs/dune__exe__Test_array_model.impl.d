@@ -1,0 +1,1 @@
+test/test_array_model.ml: Alcotest Array Array_model Finfet Lazy Testutil

@@ -1,0 +1,1 @@
+test/test_assist.ml: Alcotest Array Array_model Assist Finfet Lazy Sram_cell Testutil

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Array_model Assist Filename Finfet List Opt Sram_edp String Testutil

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Array_model Cache_model Finfet Float Gates Lazy List Opt Sram_cell Sram_edp Testutil

@@ -1,0 +1,1 @@
+test/test_finfet.ml: Alcotest Array Finfet Float Lazy Numerics Option QCheck QCheck_alcotest Testutil

@@ -1,0 +1,1 @@
+test/test_gates.ml: Alcotest Array Finfet Gates Lazy List Spice Testutil

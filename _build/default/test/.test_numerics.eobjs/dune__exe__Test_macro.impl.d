@@ -1,0 +1,1 @@
+test/test_macro.ml: Alcotest Array_model Finfet Int64 Opt Sram_macro Testutil Workload

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array List Numerics Printf QCheck QCheck_alcotest Testutil

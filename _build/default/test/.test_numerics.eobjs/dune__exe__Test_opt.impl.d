@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Array_model Finfet List Opt Sram_cell Testutil

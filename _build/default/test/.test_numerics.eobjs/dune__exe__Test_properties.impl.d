@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Array_model Finfet Gen Hashtbl Int64 Lazy List Numerics Opt Printf QCheck QCheck_alcotest Spice Sram_macro Workload

@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest Array Finfet Float Gates Lazy List Option Spice String Testutil

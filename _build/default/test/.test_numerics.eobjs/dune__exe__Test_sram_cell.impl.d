@@ -1,0 +1,1 @@
+test/test_sram_cell.ml: Alcotest Array Finfet Lazy Numerics Sram_cell Testutil

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Finfet Lazy List Sram_cell Testutil Workload

@@ -1,0 +1,297 @@
+(* Tests of the public facade: units and report rendering, the framework
+   entry point, and the experiment drivers (shapes and paper anchors of
+   the figures the bench harness regenerates). *)
+
+open Testutil
+
+let units_tests =
+  [ case "picoseconds" (fun () ->
+        Alcotest.(check string) "ps" "134.2 ps" (Sram_edp.Units.ps 134.2e-12));
+    case "femtojoules" (fun () ->
+        Alcotest.(check string) "fj" "8.86 fJ" (Sram_edp.Units.fj 8.86e-15));
+    case "nanowatts" (fun () ->
+        Alcotest.(check string) "nw" "1.692 nW" (Sram_edp.Units.nw 1.692e-9));
+    case "millivolts" (fun () ->
+        Alcotest.(check string) "mv" "-240 mV" (Sram_edp.Units.mv (-0.240)));
+    case "microamps" (fun () ->
+        Alcotest.(check string) "ua" "12.88 uA" (Sram_edp.Units.ua 12.88e-6));
+    case "si prefixes" (fun () ->
+        Alcotest.(check string) "n" "5n" (Sram_edp.Units.si 5e-9);
+        Alcotest.(check string) "k" "2k" (Sram_edp.Units.si 2e3);
+        Alcotest.(check string) "zero" "0" (Sram_edp.Units.si 0.0));
+    case "capacities" (fun () ->
+        Alcotest.(check string) "128B" "128B" (Sram_edp.Units.capacity (128 * 8));
+        Alcotest.(check string) "16KB" "16KB" (Sram_edp.Units.capacity (16384 * 8)));
+    case "percent" (fun () ->
+        Alcotest.(check string) "pct" "-59.0%" (Sram_edp.Units.percent (-0.59))) ]
+
+let report_tests =
+  [ case "renders aligned columns" (fun () ->
+        let t = Sram_edp.Report.create ~columns:[ "a"; "bb" ] in
+        Sram_edp.Report.add_row t [ "xxx"; "y" ];
+        let s = Sram_edp.Report.to_string t in
+        Alcotest.(check bool) "has header" true
+          (String.length s > 0
+           && String.sub s 0 3 = "a  ");
+        Alcotest.(check bool) "mentions row" true
+          (String.length s > 0
+           && (let rec contains i =
+                 i + 3 <= String.length s
+                 && (String.sub s i 3 = "xxx" || contains (i + 1))
+               in
+               contains 0)));
+    case "rejects mismatched rows" (fun () ->
+        let t = Sram_edp.Report.create ~columns:[ "a"; "b" ] in
+        Alcotest.(check bool) "raises" true
+          (try Sram_edp.Report.add_row t [ "only one" ]; false
+           with Invalid_argument _ -> true));
+    case "separators render as rules" (fun () ->
+        let t = Sram_edp.Report.create ~columns:[ "ab" ] in
+        Sram_edp.Report.add_row t [ "v1" ];
+        Sram_edp.Report.add_separator t;
+        Sram_edp.Report.add_row t [ "v2" ];
+        let lines = String.split_on_char '\n' (Sram_edp.Report.to_string t) in
+        Alcotest.(check int) "line count" 6 (List.length lines)) ]
+
+let plot_tests =
+  let series points = { Sram_edp.Ascii_plot.label = "s"; marker = '#'; points } in
+  [ case "canvas has the requested dimensions" (fun () ->
+        let s =
+          Sram_edp.Ascii_plot.render ~width:20 ~height:5
+            [ series [ (0.0, 0.0); (1.0, 1.0) ] ]
+        in
+        let lines = String.split_on_char '\n' s in
+        (* 5 canvas rows + axis + tick row + legend + trailing newline *)
+        Alcotest.(check bool) ">= 8 lines" true (List.length lines >= 8);
+        let first = List.hd lines in
+        Alcotest.(check int) "row width" (9 + 2 + 20) (String.length first));
+    case "markers appear on the canvas" (fun () ->
+        let s =
+          Sram_edp.Ascii_plot.render ~width:10 ~height:4
+            [ series [ (0.0, 0.0); (1.0, 1.0) ] ]
+        in
+        Alcotest.(check bool) "has marker" true (String.contains s '#'));
+    case "corner points land in the corners" (fun () ->
+        let s =
+          Sram_edp.Ascii_plot.render ~width:10 ~height:3
+            [ series [ (0.0, 0.0); (1.0, 1.0) ] ]
+        in
+        let lines = Array.of_list (String.split_on_char '\n' s) in
+        (* Top row ends with the max point's marker; bottom canvas row
+           starts (after the axis margin) with the min point's. *)
+        Alcotest.(check char) "top right" '#' lines.(0).[9 + 2 + 9];
+        Alcotest.(check char) "bottom left" '#' lines.(2).[9 + 2]);
+    case "log_y rejects non-positive values" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Sram_edp.Ascii_plot.render ~log_y:true [ series [ (0.0, 0.0) ] ]);
+             false
+           with Invalid_argument _ -> true));
+    case "empty input rejected" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try ignore (Sram_edp.Ascii_plot.render []); false
+           with Invalid_argument _ -> true));
+    case "legend lists every series" (fun () ->
+        let s =
+          Sram_edp.Ascii_plot.render
+            [ { Sram_edp.Ascii_plot.label = "alpha"; marker = 'a';
+                points = [ (0.0, 1.0) ] };
+              { Sram_edp.Ascii_plot.label = "beta"; marker = 'b';
+                points = [ (1.0, 2.0) ] } ]
+        in
+        let contains needle hay =
+          let n = String.length needle and h = String.length hay in
+          let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "alpha" true (contains "a alpha" s);
+        Alcotest.(check bool) "beta" true (contains "b beta" s)) ]
+
+let json_tests =
+  let open Sram_edp.Json_out in
+  [ case "scalars render" (fun () ->
+        Alcotest.(check string) "null" "null" (to_string Null);
+        Alcotest.(check string) "true" "true" (to_string (Bool true));
+        Alcotest.(check string) "int" "42" (to_string (Int 42));
+        Alcotest.(check string) "float" "1.5" (to_string (Float 1.5)));
+    case "strings escape control characters" (fun () ->
+        Alcotest.(check string) "escape" "\"a\\n\\\"b\\\\\""
+          (to_string (String "a\n\"b\\")));
+    case "containers render compactly" (fun () ->
+        Alcotest.(check string) "list" "[1,2]" (to_string (List [ Int 1; Int 2 ]));
+        Alcotest.(check string) "obj" "{\"a\":1}" (to_string (Obj [ ("a", Int 1) ])));
+    case "pretty rendering is indented and reparses structure" (fun () ->
+        let s = to_string_pretty (Obj [ ("xs", List [ Int 1; Int 2 ]) ]) in
+        Alcotest.(check bool) "multiline" true (String.contains s '\n'));
+    case "metrics serialize with all fields" (fun () ->
+        let env = Array_model.Array_eval.make_env ~cell_flavor:Finfet.Library.Hvt () in
+        let g = Array_model.Geometry.create ~nr:64 ~nc:64 ~n_pre:4 ~n_wr:2 () in
+        let m = Array_model.Array_eval.evaluate env g Array_model.Components.no_assist in
+        match of_metrics m with
+        | Obj fields -> Alcotest.(check int) "fields" 10 (List.length fields)
+        | Null | Bool _ | Int _ | Float _ | String _ | List _ ->
+          Alcotest.fail "expected an object");
+    case "headline serializes per-capacity rows" (fun () ->
+        match of_headline (Sram_edp.Framework.headline ()) with
+        | Obj fields ->
+          (match List.assoc "per_capacity" fields with
+           | List rows -> Alcotest.(check int) "rows" 3 (List.length rows)
+           | _ -> Alcotest.fail "expected a list")
+        | _ -> Alcotest.fail "expected an object") ]
+
+let export_tests =
+  [ case "csv fields quote when needed" (fun () ->
+        Alcotest.(check string) "plain" "abc" (Sram_edp.Export.csv_field "abc");
+        Alcotest.(check string) "comma" "\"a,b\"" (Sram_edp.Export.csv_field "a,b");
+        Alcotest.(check string) "quote" "\"a\"\"b\"" (Sram_edp.Export.csv_field "a\"b"));
+    case "csv lines join and terminate" (fun () ->
+        Alcotest.(check string) "line" "a,b,c\n" (Sram_edp.Export.csv_line [ "a"; "b"; "c" ]));
+    case "rendered files have consistent column counts" (fun () ->
+        List.iter
+          (fun (f : Sram_edp.Export.file) ->
+            let width = List.length f.Sram_edp.Export.header in
+            Alcotest.(check bool) "nonempty" true (f.Sram_edp.Export.rows <> []);
+            List.iter
+              (fun row -> Alcotest.(check int) f.Sram_edp.Export.filename width (List.length row))
+              f.Sram_edp.Export.rows)
+          (Sram_edp.Export.fig2_files () @ [ Sram_edp.Export.fig7_file () ]));
+    case "the design table exports all twenty rows" (fun () ->
+        let f = Sram_edp.Export.fig7_file () in
+        Alcotest.(check int) "rows" 20 (List.length f.Sram_edp.Export.rows));
+    case "write_all produces readable files" (fun () ->
+        let dir = Filename.concat (Filename.get_temp_dir_name ()) "sram_edp_export_test" in
+        let paths = Sram_edp.Export.write_all ~dir () in
+        Alcotest.(check int) "eight files" 8 (List.length paths);
+        List.iter
+          (fun path ->
+            let ic = open_in path in
+            let first = input_line ic in
+            close_in ic;
+            Alcotest.(check bool) "has header" true (String.contains first ','))
+          paths) ]
+
+let hvt_m2 = { Sram_edp.Framework.flavor = Finfet.Library.Hvt; method_ = Opt.Space.M2 }
+let lvt_m2 = { Sram_edp.Framework.flavor = Finfet.Library.Lvt; method_ = Opt.Space.M2 }
+let cap_1kb = 1024 * 8
+
+let framework_tests =
+  [ case "config names" (fun () ->
+        Alcotest.(check string) "name" "6T-HVT-M2" (Sram_edp.Framework.config_name hvt_m2);
+        Alcotest.(check int) "four configs" 4
+          (List.length Sram_edp.Framework.all_configs));
+    case "paper capacities" (fun () ->
+        Alcotest.(check (list int)) "bits"
+          [ 128 * 8; 256 * 8; 1024 * 8; 4096 * 8; 16384 * 8 ]
+          Sram_edp.Framework.paper_capacities);
+    case "optimize is memoized" (fun () ->
+        let a = Sram_edp.Framework.optimize ~capacity_bits:cap_1kb ~config:hvt_m2 () in
+        let b = Sram_edp.Framework.optimize ~capacity_bits:cap_1kb ~config:hvt_m2 () in
+        Alcotest.(check bool) "same result value" true (a == b));
+    case "optimized design satisfies the margin constraint" (fun () ->
+        let o = Sram_edp.Framework.optimize ~capacity_bits:cap_1kb ~config:hvt_m2 () in
+        let a = Sram_edp.Framework.assist o in
+        Alcotest.(check bool) "margins" true
+          (Opt.Yield.margins_ok ~flavor:Finfet.Library.Hvt
+             ~vddc:a.Array_model.Components.vddc
+             ~vssc:a.Array_model.Components.vssc
+             ~vwl:a.Array_model.Components.vwl ()));
+    case "HVT-M2 beats LVT-M2 on EDP at 1KB+ (the paper's claim)" (fun () ->
+        let h = Sram_edp.Framework.optimize ~capacity_bits:cap_1kb ~config:hvt_m2 () in
+        let l = Sram_edp.Framework.optimize ~capacity_bits:cap_1kb ~config:lvt_m2 () in
+        Alcotest.(check bool) "hvt wins" true
+          ((Sram_edp.Framework.metrics h).Array_model.Array_eval.edp
+           < (Sram_edp.Framework.metrics l).Array_model.Array_eval.edp));
+    case "headline reductions grow with capacity" (fun () ->
+        let h = Sram_edp.Framework.headline () in
+        let reductions = List.map (fun (_, r, _) -> r) h.Sram_edp.Framework.per_capacity in
+        check_increasing ~strict:true "monotone" (Array.of_list reductions);
+        Alcotest.(check bool) "positive average" true
+          (h.Sram_edp.Framework.avg_edp_reduction > 0.25);
+        check_within "penalty bounded (paper: max 12%)" ~lo:0.0 ~hi:0.13
+          h.Sram_edp.Framework.max_delay_penalty) ]
+
+let experiments_tests =
+  [ case "fig2 series cover the sweep and favor HVT on leakage" (fun () ->
+        let leak = Sram_edp.Experiments.fig2b_leakage () in
+        Alcotest.(check int) "points" 8 (Array.length leak);
+        Array.iter
+          (fun (p : Sram_edp.Experiments.voltage_point) ->
+            Alcotest.(check bool) "hvt leaks less" true
+              (p.Sram_edp.Experiments.hvt < p.Sram_edp.Experiments.lvt))
+          leak);
+    case "fig2a margins are fractions of the supply" (fun () ->
+        Array.iter
+          (fun (p : Sram_edp.Experiments.voltage_point) ->
+            check_within "lvt" ~lo:0.0 ~hi:(0.5 *. p.Sram_edp.Experiments.vdd)
+              p.Sram_edp.Experiments.lvt)
+          (Sram_edp.Experiments.fig2a_hsnm ()));
+    case "fig3a read current halves with HVT (paper: 2x lower)" (fun () ->
+        let r = Sram_edp.Experiments.fig3a () in
+        check_within "ratio" ~lo:0.40 ~hi:0.62
+          (r.Sram_edp.Experiments.iread_hvt /. r.Sram_edp.Experiments.iread_lvt));
+    case "vdd boost sweep crosses the yield rule near 550 mV" (fun () ->
+        let s = Sram_edp.Experiments.fig3_read_assist Assist.Technique.Vdd_boost in
+        match s.Sram_edp.Experiments.yield_crossing with
+        | Some v -> check_within "crossing" ~lo:0.50 ~hi:0.58 v
+        | None -> Alcotest.fail "no crossing");
+    case "negative Gnd recovers the LVT bitline delay (paper: -100 mV)" (fun () ->
+        let s = Sram_edp.Experiments.fig3_read_assist Assist.Technique.Negative_gnd in
+        match s.Sram_edp.Experiments.lvt_delay_crossing with
+        | Some v -> check_within "crossing" ~lo:(-0.15) ~hi:(-0.05) v
+        | None -> Alcotest.fail "no crossing");
+    case "WL overdrive meets WM near 540 mV (paper)" (fun () ->
+        let s = Sram_edp.Experiments.fig5_write_assist Assist.Technique.Wl_overdrive in
+        match s.Sram_edp.Experiments.wm_yield_crossing with
+        | Some v -> check_within "crossing" ~lo:0.51 ~hi:0.57 v
+        | None -> Alcotest.fail "no crossing");
+    case "negative BL meets WM near -100 mV (paper)" (fun () ->
+        let s = Sram_edp.Experiments.fig5_write_assist Assist.Technique.Negative_bl in
+        match s.Sram_edp.Experiments.wm_yield_crossing with
+        | Some v -> check_within "crossing" ~lo:(-0.15) ~hi:(-0.08) v
+        | None -> Alcotest.fail "no crossing");
+    case "design table covers all capacities and configs" (fun () ->
+        let rows = Sram_edp.Experiments.design_table () in
+        Alcotest.(check int) "20 rows" 20 (List.length rows);
+        List.iter
+          (fun (r : Sram_edp.Experiments.design_row) ->
+            Alcotest.(check int) "capacity" r.Sram_edp.Experiments.capacity_bits
+              (r.Sram_edp.Experiments.nr * r.Sram_edp.Experiments.nc))
+          rows);
+    case "M2 designs for 1KB+ adopt a deep negative Gnd (paper: -240 mV)" (fun () ->
+        let rows = Sram_edp.Experiments.design_table () in
+        let m2_16kb =
+          List.find
+            (fun (r : Sram_edp.Experiments.design_row) ->
+              r.Sram_edp.Experiments.capacity_bits = 16384 * 8
+              && r.Sram_edp.Experiments.config = hvt_m2)
+            rows
+        in
+        check_within "deep vssc" ~lo:(-0.24) ~hi:(-0.15)
+          m2_16kb.Sram_edp.Experiments.vssc);
+    case "Figure 7(d): M2 cuts the HVT bitline delay (paper: 3.3x avg)" (fun () ->
+        let rows = Sram_edp.Experiments.design_table () in
+        let find method_ cap =
+          List.find
+            (fun (r : Sram_edp.Experiments.design_row) ->
+              r.Sram_edp.Experiments.capacity_bits = cap
+              && r.Sram_edp.Experiments.config
+                 = { Sram_edp.Framework.flavor = Finfet.Library.Hvt; method_ })
+            rows
+        in
+        List.iter
+          (fun cap ->
+            let m1 = find Opt.Space.M1 cap and m2 = find Opt.Space.M2 cap in
+            Alcotest.(check bool) "bl speedup" true
+              (m1.Sram_edp.Experiments.d_bl_read
+               > 1.5 *. m2.Sram_edp.Experiments.d_bl_read))
+          [ 1024 * 8; 4096 * 8; 16384 * 8 ]) ]
+
+let () =
+  Alcotest.run "core"
+    [ ("units", units_tests);
+      ("report", report_tests);
+      ("plot", plot_tests);
+      ("json", json_tests);
+      ("export", export_tests);
+      ("framework", framework_tests);
+      ("experiments", experiments_tests) ]

@@ -1,0 +1,354 @@
+(* Tests of the optimization layer: yield-driven voltage pinning, the
+   search space and M1/M2 policies, exhaustive search correctness (best
+   really is the minimum), Pareto extraction, and annealing. *)
+
+open Testutil
+
+let yield_tests =
+  [ case "snap_up lands on the 10 mV grid" (fun () ->
+        check_close "snap" 0.54 (Opt.Yield.snap_up 0.531);
+        check_close "exact stays" 0.53 (Opt.Yield.snap_up 0.53);
+        check_close "tiny above" 0.54 (Opt.Yield.snap_up 0.5301));
+    case "HVT levels near the paper's 550 mV pins" (fun () ->
+        let l = Opt.Yield.solve ~flavor:Finfet.Library.Hvt () in
+        check_within "vddc" ~lo:0.50 ~hi:0.58 l.Opt.Yield.vddc_min;
+        check_within "vwl" ~lo:0.51 ~hi:0.59 l.Opt.Yield.vwl_min;
+        Alcotest.(check bool) "hold ok" true
+          (l.Opt.Yield.hsnm_nominal >= Finfet.Tech.min_margin));
+    case "LVT needs a deeper boost than HVT (paper ordering)" (fun () ->
+        let lvt = Opt.Yield.solve ~flavor:Finfet.Library.Lvt () in
+        let hvt = Opt.Yield.solve ~flavor:Finfet.Library.Hvt () in
+        Alcotest.(check bool) "vddc order" true
+          (lvt.Opt.Yield.vddc_min > hvt.Opt.Yield.vddc_min);
+        Alcotest.(check bool) "vwl order" true
+          (lvt.Opt.Yield.vwl_min < hvt.Opt.Yield.vwl_min));
+    case "margins_ok accepts the solved pins and rejects weaker ones" (fun () ->
+        let l = Opt.Yield.solve ~flavor:Finfet.Library.Hvt () in
+        Alcotest.(check bool) "pins ok" true
+          (Opt.Yield.margins_ok ~flavor:Finfet.Library.Hvt
+             ~vddc:l.Opt.Yield.vddc_min ~vssc:0.0 ~vwl:l.Opt.Yield.vwl_min ());
+        Alcotest.(check bool) "nominal fails" false
+          (Opt.Yield.margins_ok ~flavor:Finfet.Library.Hvt ~vddc:0.45 ~vssc:0.0
+             ~vwl:0.45 ()));
+    case "SF corner demands a higher write level" (fun () ->
+        let tt = Opt.Yield.solve ~flavor:Finfet.Library.Hvt () in
+        let sf = Opt.Yield.solve ~corner:Finfet.Corners.SF ~flavor:Finfet.Library.Hvt () in
+        Alcotest.(check bool) "vwl up" true
+          (sf.Opt.Yield.vwl_min > tt.Opt.Yield.vwl_min +. 0.02));
+    case "FS corner demands a deeper read boost" (fun () ->
+        let tt = Opt.Yield.solve ~flavor:Finfet.Library.Hvt () in
+        let fs = Opt.Yield.solve ~corner:Finfet.Corners.FS ~flavor:Finfet.Library.Hvt () in
+        Alcotest.(check bool) "vddc up" true
+          (fs.Opt.Yield.vddc_min > tt.Opt.Yield.vddc_min +. 0.01));
+    case "heat raises the required read boost" (fun () ->
+        let cold = Opt.Yield.solve ~flavor:Finfet.Library.Hvt () in
+        let hot = Opt.Yield.solve ~celsius:125.0 ~flavor:Finfet.Library.Hvt () in
+        Alcotest.(check bool) "vddc up hot" true
+          (hot.Opt.Yield.vddc_min >= cold.Opt.Yield.vddc_min));
+    case "rsnm_at is cached and consistent" (fun () ->
+        let a = Opt.Yield.rsnm_at ~flavor:Finfet.Library.Hvt ~vddc:0.55 ~vssc:0.0 () in
+        let b = Opt.Yield.rsnm_at ~flavor:Finfet.Library.Hvt ~vddc:0.55 ~vssc:0.0 () in
+        check_close "cache" a b;
+        Alcotest.(check bool) "meets rule at 550" true (a >= Finfet.Tech.min_margin)) ]
+
+let space_tests =
+  [ case "default grids match the paper's ranges" (fun () ->
+        let s = Opt.Space.default in
+        Alcotest.(check int) "vssc" 25 (Array.length s.Opt.Space.vssc_values);
+        Alcotest.(check int) "nr" 10 (Array.length s.Opt.Space.nr_values);
+        Alcotest.(check int) "npre" 50 (Array.length s.Opt.Space.n_pre_values);
+        Alcotest.(check int) "nwr" 20 (Array.length s.Opt.Space.n_wr_values);
+        check_close "deepest vssc" (-0.240)
+          s.Opt.Space.vssc_values.(24);
+        Alcotest.(check int) "largest nr" 1024 s.Opt.Space.nr_values.(9));
+    case "M1 shares one boosted level and forbids V_SSC" (fun () ->
+        let levels = Opt.Yield.solve ~flavor:Finfet.Library.Lvt () in
+        let pins = Opt.Space.pins_for Opt.Space.M1 levels in
+        check_close "shared" (max levels.Opt.Yield.vddc_min levels.Opt.Yield.vwl_min)
+          pins.Opt.Space.vddc;
+        check_close "same" pins.Opt.Space.vddc pins.Opt.Space.vwl;
+        Alcotest.(check bool) "no vssc" false pins.Opt.Space.vssc_allowed;
+        Alcotest.(check int) "one extra level" 1 pins.Opt.Space.extra_levels);
+    case "M2 separates distant levels (LVT) and merges close ones (HVT)" (fun () ->
+        let lvt = Opt.Space.pins_for Opt.Space.M2 (Opt.Yield.solve ~flavor:Finfet.Library.Lvt ()) in
+        Alcotest.(check bool) "lvt separate" true (lvt.Opt.Space.vddc <> lvt.Opt.Space.vwl);
+        Alcotest.(check int) "three pins" 3 lvt.Opt.Space.extra_levels;
+        let hvt = Opt.Space.pins_for Opt.Space.M2 (Opt.Yield.solve ~flavor:Finfet.Library.Hvt ()) in
+        check_close "hvt merged" hvt.Opt.Space.vddc hvt.Opt.Space.vwl;
+        Alcotest.(check int) "two pins" 2 hvt.Opt.Space.extra_levels);
+    case "assist_of clamps V_SSC under M1" (fun () ->
+        let levels = Opt.Yield.solve ~flavor:Finfet.Library.Hvt () in
+        let m1 = Opt.Space.pins_for Opt.Space.M1 levels in
+        let a = Opt.Space.assist_of m1 ~vssc:(-0.2) in
+        check_close_abs "clamped" 0.0 a.Array_model.Components.vssc);
+    case "candidate geometries keep both dimensions powers of two" (fun () ->
+        let geoms =
+          Opt.Space.candidate_geometries Opt.Space.reduced ~capacity_bits:(1024 * 8)
+        in
+        Alcotest.(check bool) "nonempty" true (geoms <> []);
+        List.iter
+          (fun g ->
+            Alcotest.(check int) "capacity" (1024 * 8)
+              (Array_model.Geometry.capacity_bits g))
+          geoms);
+    case "size counts the cross product" (fun () ->
+        let s = Opt.Space.reduced in
+        let geoms = List.length (Opt.Space.candidate_geometries s ~capacity_bits:(1024 * 8)) in
+        Alcotest.(check int) "m2"
+          (geoms * Array.length s.Opt.Space.vssc_values)
+          (Opt.Space.size s ~capacity_bits:(1024 * 8) Opt.Space.M2);
+        Alcotest.(check int) "m1" geoms
+          (Opt.Space.size s ~capacity_bits:(1024 * 8) Opt.Space.M1)) ]
+
+let env_hvt = Array_model.Array_eval.make_env ~cell_flavor:Finfet.Library.Hvt ()
+let small_cap = 1024 * 8
+
+let exhaustive_tests =
+  [ case "best really is the minimum over all candidates" (fun () ->
+        let result, all =
+          Opt.Exhaustive.search_all ~space:Opt.Space.reduced ~env:env_hvt
+            ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
+        in
+        Alcotest.(check int) "count matches" result.Opt.Exhaustive.evaluated
+          (List.length all);
+        List.iter
+          (fun (c : Opt.Exhaustive.candidate) ->
+            Alcotest.(check bool) "no better candidate" true
+              (c.Opt.Exhaustive.score
+               >= result.Opt.Exhaustive.best.Opt.Exhaustive.score -. 1e-30))
+          all);
+    case "search rejects non-power-of-two capacities" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Opt.Exhaustive.search ~env:env_hvt ~capacity_bits:3000
+                  ~method_:Opt.Space.M2 ());
+             false
+           with Invalid_argument _ -> true));
+    case "M1 never uses a negative V_SSC" (fun () ->
+        let r =
+          Opt.Exhaustive.search ~space:Opt.Space.reduced ~env:env_hvt
+            ~capacity_bits:small_cap ~method_:Opt.Space.M1 ()
+        in
+        check_close_abs "vssc" 0.0
+          r.Opt.Exhaustive.best.Opt.Exhaustive.assist.Array_model.Components.vssc);
+    case "M2 beats (or ties) M1 on the objective" (fun () ->
+        let m1 =
+          Opt.Exhaustive.search ~space:Opt.Space.reduced ~env:env_hvt
+            ~capacity_bits:small_cap ~method_:Opt.Space.M1 ()
+        in
+        let m2 =
+          Opt.Exhaustive.search ~space:Opt.Space.reduced ~env:env_hvt
+            ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
+        in
+        Alcotest.(check bool) "m2 <= m1" true
+          (m2.Opt.Exhaustive.best.Opt.Exhaustive.score
+           <= m1.Opt.Exhaustive.best.Opt.Exhaustive.score +. 1e-30));
+    case "delay-only objective is at least as fast as the EDP optimum" (fun () ->
+        let edp =
+          Opt.Exhaustive.search ~space:Opt.Space.reduced ~env:env_hvt
+            ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
+        in
+        let fast =
+          Opt.Exhaustive.search ~space:Opt.Space.reduced
+            ~objective:Opt.Objective.Delay_only ~env:env_hvt
+            ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
+        in
+        Alcotest.(check bool) "delay" true
+          (fast.Opt.Exhaustive.best.Opt.Exhaustive.metrics.Array_model.Array_eval.d_array
+           <= edp.Opt.Exhaustive.best.Opt.Exhaustive.metrics.Array_model.Array_eval.d_array
+              +. 1e-30)) ]
+
+let objective_tests =
+  [ case "objective formulas" (fun () ->
+        let r =
+          Opt.Exhaustive.search ~space:Opt.Space.reduced ~env:env_hvt
+            ~capacity_bits:small_cap ~method_:Opt.Space.M1 ()
+        in
+        let m = r.Opt.Exhaustive.best.Opt.Exhaustive.metrics in
+        let e = m.Array_model.Array_eval.e_total in
+        let d = m.Array_model.Array_eval.d_array in
+        check_close "edp" (e *. d) (Opt.Objective.eval Opt.Objective.Energy_delay_product m);
+        check_close "ed2" (e *. d *. d) (Opt.Objective.eval Opt.Objective.Energy_delay_squared m);
+        check_close "e" e (Opt.Objective.eval Opt.Objective.Energy_only m);
+        check_close "d" d (Opt.Objective.eval Opt.Objective.Delay_only m));
+    case "objective names" (fun () ->
+        Alcotest.(check string) "edp" "EDP" (Opt.Objective.name Opt.Objective.Energy_delay_product);
+        Alcotest.(check int) "all four" 4 (List.length Opt.Objective.all)) ]
+
+let pareto_tests =
+  [ case "front members are mutually non-dominated" (fun () ->
+        let _, all =
+          Opt.Exhaustive.search_all ~space:Opt.Space.reduced ~env:env_hvt
+            ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
+        in
+        let front = Opt.Pareto.front all in
+        Alcotest.(check bool) "nonempty" true (front <> []);
+        let d (c : Opt.Exhaustive.candidate) = c.Opt.Exhaustive.metrics.Array_model.Array_eval.d_array in
+        let e (c : Opt.Exhaustive.candidate) = c.Opt.Exhaustive.metrics.Array_model.Array_eval.e_total in
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                if a != b then
+                  Alcotest.(check bool) "non-dominated" false
+                    (d b <= d a && e b <= e a && (d b < d a || e b < e a)))
+              front)
+          front);
+    case "front dominates every candidate" (fun () ->
+        let _, all =
+          Opt.Exhaustive.search_all ~space:Opt.Space.reduced ~env:env_hvt
+            ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
+        in
+        let front = Opt.Pareto.front all in
+        let d (c : Opt.Exhaustive.candidate) = c.Opt.Exhaustive.metrics.Array_model.Array_eval.d_array in
+        let e (c : Opt.Exhaustive.candidate) = c.Opt.Exhaustive.metrics.Array_model.Array_eval.e_total in
+        List.iter
+          (fun c ->
+            Alcotest.(check bool) "covered" true
+              (List.exists
+                 (fun f -> d f <= d c +. 1e-30 && e f <= e c +. 1e-30)
+                 front))
+          all);
+    case "knee lies on the front" (fun () ->
+        let _, all =
+          Opt.Exhaustive.search_all ~space:Opt.Space.reduced ~env:env_hvt
+            ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
+        in
+        match Opt.Pareto.knee all with
+        | Some k ->
+          Alcotest.(check bool) "member" true
+            (List.exists (fun c -> c == k) (Opt.Pareto.front all))
+        | None -> Alcotest.fail "no knee");
+    case "empty input yields empty front and no knee" (fun () ->
+        Alcotest.(check bool) "front" true (Opt.Pareto.front [] = []);
+        Alcotest.(check bool) "knee" true (Opt.Pareto.knee [] = None)) ]
+
+let anneal_tests =
+  [ case "annealing is deterministic per seed" (fun () ->
+        let run () =
+          Opt.Anneal.search ~space:Opt.Space.reduced
+            ~schedule:{ Opt.Anneal.initial_temperature = 0.3; cooling = 0.99; steps = 300 }
+            ~seed:5 ~env:env_hvt ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
+        in
+        let a = run () and b = run () in
+        check_close "same score" a.Opt.Exhaustive.best.Opt.Exhaustive.score
+          b.Opt.Exhaustive.best.Opt.Exhaustive.score);
+    case "annealing lands within 10% of the exhaustive optimum" (fun () ->
+        let exact =
+          Opt.Exhaustive.search ~space:Opt.Space.reduced ~env:env_hvt
+            ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
+        in
+        let approx =
+          Opt.Anneal.search ~space:Opt.Space.reduced ~seed:7 ~env:env_hvt
+            ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
+        in
+        check_within "quality" ~lo:1.0 ~hi:1.10
+          (approx.Opt.Exhaustive.best.Opt.Exhaustive.score
+           /. exact.Opt.Exhaustive.best.Opt.Exhaustive.score));
+    case "annealing spends far fewer evaluations" (fun () ->
+        let approx =
+          Opt.Anneal.search ~space:Opt.Space.reduced ~seed:7 ~env:env_hvt
+            ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
+        in
+        Alcotest.(check bool) "cheap" true
+          (approx.Opt.Exhaustive.evaluated
+           < Opt.Space.size Opt.Space.reduced ~capacity_bits:small_cap Opt.Space.M2)) ]
+
+let local_search_tests =
+  [ case "coordinate descent lands near the exhaustive optimum" (fun () ->
+        (* The reduced grid is deliberately coarse, which leaves real local
+           minima; a few extra restarts keep the gap in single digits. *)
+        let exact =
+          Opt.Exhaustive.search ~space:Opt.Space.reduced ~env:env_hvt
+            ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
+        in
+        let local =
+          Opt.Local_search.search ~space:Opt.Space.reduced ~restarts:8
+            ~env:env_hvt ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
+        in
+        check_within "quality" ~lo:1.0 ~hi:1.10
+          (local.Opt.Exhaustive.best.Opt.Exhaustive.score
+           /. exact.Opt.Exhaustive.best.Opt.Exhaustive.score));
+    case "full-grid coordinate descent is within 2% of exhaustive" (fun () ->
+        let exact =
+          Opt.Exhaustive.search ~env:env_hvt ~capacity_bits:small_cap
+            ~method_:Opt.Space.M2 ()
+        in
+        let local =
+          Opt.Local_search.search ~env:env_hvt ~capacity_bits:small_cap
+            ~method_:Opt.Space.M2 ()
+        in
+        check_within "quality" ~lo:1.0 ~hi:1.02
+          (local.Opt.Exhaustive.best.Opt.Exhaustive.score
+           /. exact.Opt.Exhaustive.best.Opt.Exhaustive.score));
+    case "coordinate descent is deterministic" (fun () ->
+        let run () =
+          (Opt.Local_search.search ~space:Opt.Space.reduced ~env:env_hvt
+             ~capacity_bits:small_cap ~method_:Opt.Space.M2 ())
+            .Opt.Exhaustive.best.Opt.Exhaustive.score
+        in
+        check_close "same" (run ()) (run ()));
+    case "coordinate descent spends far fewer evaluations" (fun () ->
+        let local =
+          Opt.Local_search.search ~space:Opt.Space.reduced ~env:env_hvt
+            ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
+        in
+        Alcotest.(check bool) "cheap" true
+          (local.Opt.Exhaustive.evaluated
+           < Opt.Space.size Opt.Space.reduced ~capacity_bits:small_cap Opt.Space.M2));
+    case "respects injected levels" (fun () ->
+        let levels = { Opt.Yield.vddc_min = 0.60; vwl_min = 0.60; hsnm_nominal = 0.2 } in
+        let r =
+          Opt.Local_search.search ~space:Opt.Space.reduced ~levels ~env:env_hvt
+            ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
+        in
+        check_close "pins" 0.60
+          r.Opt.Exhaustive.best.Opt.Exhaustive.assist.Array_model.Components.vddc) ]
+
+let array_yield_tests =
+  let g = Array_model.Geometry.create ~nr:128 ~nc:256 ~n_pre:24 ~n_wr:2 () in
+  [ case "zero cell failures give unit yield" (fun () ->
+        check_close "one" 1.0 (Opt.Array_yield.array_yield ~geometry:g ~cell_fail:0.0 ()));
+    case "yield falls with cell failure probability" (fun () ->
+        let y p = Opt.Array_yield.array_yield ~geometry:g ~cell_fail:p () in
+        check_decreasing ~strict:true "monotone" [| y 1e-8; y 1e-6; y 1e-4 |]);
+    case "spare rows raise the yield" (fun () ->
+        let at spare_rows =
+          Opt.Array_yield.array_yield ~spare_rows ~geometry:g ~cell_fail:1e-5 ()
+        in
+        check_increasing ~strict:true "repair" [| at 0; at 1; at 4 |]);
+    case "cell failure probability combines the three margins" (fun () ->
+        let good = [| 0.2; 0.21; 0.19; 0.2; 0.22; 0.18 |] in
+        let marginal = [| 0.02; 0.01; -0.01; 0.03; 0.0; 0.02 |] in
+        let p_good =
+          Opt.Array_yield.cell_failure_probability
+            { Sram_cell.Montecarlo.hsnm = good; rsnm = good; wm = good }
+        in
+        let p_marginal =
+          Opt.Array_yield.cell_failure_probability
+            { Sram_cell.Montecarlo.hsnm = good; rsnm = marginal; wm = good }
+        in
+        Alcotest.(check bool) "ordering" true (p_good < 1e-6 && p_marginal > 0.1));
+    case "yield-solved boost undercuts the 35% proxy rule" (fun () ->
+        let cfg = { Opt.Yield_mc.default_config with Opt.Yield_mc.samples = 12 } in
+        let s =
+          Opt.Array_yield.solve_vddc ~config:cfg ~flavor:Finfet.Library.Hvt
+            ~geometry:g ()
+        in
+        Alcotest.(check bool) "meets target" true
+          (s.Opt.Array_yield.achieved_yield >= 0.99);
+        let proxy = Opt.Yield.solve ~flavor:Finfet.Library.Hvt () in
+        Alcotest.(check bool) "cheaper than proxy" true
+          (s.Opt.Array_yield.vddc_min <= proxy.Opt.Yield.vddc_min)) ]
+
+let () =
+  Alcotest.run "opt"
+    [ ("yield", yield_tests);
+      ("space", space_tests);
+      ("exhaustive", exhaustive_tests);
+      ("objective", objective_tests);
+      ("pareto", pareto_tests);
+      ("anneal", anneal_tests);
+      ("local_search", local_search_tests);
+      ("array_yield", array_yield_tests) ]

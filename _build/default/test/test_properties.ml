@@ -1,0 +1,281 @@
+(* Property-based tests: randomized invariants across every layer,
+   registered as alcotest cases via QCheck_alcotest. *)
+
+let lib = Lazy.force Finfet.Library.default
+let nfet_hvt = Finfet.Library.nfet lib Finfet.Library.Hvt
+let pfet_hvt = Finfet.Library.pfet lib Finfet.Library.Hvt
+
+let dcaps = Array_model.Caps.device_caps_of ~nfet:nfet_hvt ~pfet:pfet_hvt ()
+
+(* Generators *)
+
+let pow2 lo hi =
+  QCheck.map (fun k -> 1 lsl k) (QCheck.int_range lo hi)
+
+let geometry_gen =
+  QCheck.map
+    (fun (((nr, nc), n_pre), n_wr) ->
+      Array_model.Geometry.create ~nr ~nc ~n_pre ~n_wr ())
+    QCheck.(pair (pair (pair (pow2 1 10) (pow2 0 10)) (int_range 1 50)) (int_range 1 20))
+
+let assist_gen =
+  QCheck.map
+    (fun ((vddc_step, vssc_step), vwl_step) ->
+      { Array_model.Components.vddc = 0.45 +. (0.01 *. float_of_int vddc_step);
+        vssc = -0.01 *. float_of_int vssc_step;
+        vwl = 0.45 +. (0.01 *. float_of_int vwl_step) })
+    QCheck.(pair (pair (int_bound 25) (int_bound 24)) (int_bound 25))
+
+(* --- numerics --- *)
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile endpoints are min and max" ~count:200
+    QCheck.(array_of_size (Gen.int_range 1 40) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let lo, hi = Numerics.Stats.min_max xs in
+      Numerics.Stats.percentile xs ~p:0.0 = lo
+      && Numerics.Stats.percentile xs ~p:100.0 = hi)
+
+let prop_brent_cubic =
+  QCheck.Test.make ~name:"brent solves random shifted cubics" ~count:200
+    QCheck.(float_range (-3.0) 3.0)
+    (fun root ->
+      let f x = ((x -. root) ** 3.0) +. (0.5 *. (x -. root)) in
+      let solved = Numerics.Roots.brent f ~lo:(root -. 10.0) ~hi:(root +. 10.0) in
+      abs_float (solved -. root) < 1e-6)
+
+let prop_table1d_clamp_bounds =
+  QCheck.Test.make ~name:"clamped table stays within its data range" ~count:200
+    QCheck.(pair (array_of_size (Gen.int_range 2 10) (float_range 0.0 10.0))
+              (float_range (-5.0) 15.0))
+    (fun (ys, x) ->
+      let xs = Array.init (Array.length ys) float_of_int in
+      let t = Numerics.Interp.Table1d.create xs ys in
+      let lo, hi = Numerics.Stats.min_max ys in
+      let v = Numerics.Interp.Table1d.eval t x in
+      v >= lo -. 1e-12 && v <= hi +. 1e-12)
+
+let prop_power_law_roundtrip =
+  QCheck.Test.make ~name:"power-law fit recovers random parameters" ~count:60
+    QCheck.(triple (float_range 1.0 2.0) (float_range 1e-5 1e-3) (float_range 0.1 0.3))
+    (fun (a, b, vt) ->
+      let vs = Array.init 12 (fun i -> vt +. 0.1 +. (0.04 *. float_of_int i)) in
+      let is_ = Array.map (fun v -> b *. ((v -. vt) ** a)) vs in
+      let fit = Numerics.Fit.power_law ~vt_lo:0.0 ~vt_hi:(vt +. 0.09) vs is_ in
+      abs_float (fit.Numerics.Fit.a -. a) < 0.02
+      && fit.Numerics.Fit.rms_error < 1e-3)
+
+let prop_uniform_range =
+  QCheck.Test.make ~name:"uniform_range respects arbitrary bounds" ~count:200
+    QCheck.(triple (int_bound 10_000) (float_range (-50.0) 50.0) (float_range 0.0 100.0))
+    (fun (seed, lo, span) ->
+      let rng = Numerics.Rng.create ~seed in
+      let hi = lo +. span in
+      let x = Numerics.Rng.uniform_range rng ~lo ~hi in
+      x >= lo && x <= hi)
+
+(* --- spice --- *)
+
+let prop_divider =
+  QCheck.Test.make ~name:"random resistor dividers solve exactly" ~count:100
+    QCheck.(pair (float_range 10.0 1e6) (float_range 10.0 1e6))
+    (fun (r1, r2) ->
+      let n = Spice.Netlist.create () in
+      let vin = Spice.Netlist.fresh_node n "vin" in
+      let mid = Spice.Netlist.fresh_node n "mid" in
+      Spice.Netlist.vdc n ~plus:vin ~minus:0 ~volts:1.0;
+      Spice.Netlist.resistor n ~plus:vin ~minus:mid ~ohms:r1;
+      Spice.Netlist.resistor n ~plus:mid ~minus:0 ~ohms:r2;
+      let s = Spice.Dc.operating_point n in
+      abs_float (Spice.Dc.node_voltage s mid -. (r2 /. (r1 +. r2))) < 1e-5)
+
+let prop_step_waveform_bounds =
+  QCheck.Test.make ~name:"step waveforms stay between their levels" ~count:200
+    QCheck.(triple (float_range 0.0 1.0) (float_range 0.0 1.0) (float_range (-1.0) 3.0))
+    (fun (v0, v1, t) ->
+      let w = Spice.Netlist.Step { t_delay = 0.5; t_rise = 1.0; v0; v1 } in
+      let v = Spice.Netlist.waveform_at w t in
+      v >= min v0 v1 -. 1e-12 && v <= max v0 v1 +. 1e-12)
+
+(* --- device --- *)
+
+let prop_ids_monotone_vgs =
+  QCheck.Test.make ~name:"drain current is monotone in vgs at any vds" ~count:200
+    QCheck.(triple (float_range 0.02 0.8) (float_range 0.0 0.75) (float_range 0.001 0.05))
+    (fun (vds, vgs, dv) ->
+      Finfet.Device.ids nfet_hvt ~vgs:(vgs +. dv) ~vds
+      >= Finfet.Device.ids nfet_hvt ~vgs ~vds)
+
+let prop_stack_bounded_by_pull_down =
+  QCheck.Test.make
+    ~name:"series stack current never exceeds the lone pull-down's" ~count:100
+    QCheck.(pair (float_range 0.45 0.7) (float_range 0.0 0.24))
+    (fun (vddc, depth) ->
+      let vssc = -.depth in
+      let stack =
+        Finfet.Calibration.stack_read_current ~access:nfet_hvt
+          ~pull_down:nfet_hvt ~vwl:0.45 ~vbl:0.45 ~vddc ~vssc
+      in
+      let lone =
+        Finfet.Device.ids nfet_hvt ~vgs:(vddc -. vssc) ~vds:(0.45 -. vssc)
+      in
+      stack <= lone +. 1e-12)
+
+(* --- array model --- *)
+
+let prop_caps_positive =
+  QCheck.Test.make ~name:"all Table 1 capacitances are positive" ~count:200
+    geometry_gen
+    (fun g ->
+      Array_model.Caps.cvdd dcaps g > 0.0
+      && Array_model.Caps.cvss dcaps g > 0.0
+      && Array_model.Caps.wl dcaps g > 0.0
+      && Array_model.Caps.bl dcaps g > 0.0
+      && Array_model.Caps.col dcaps g >= 0.0)
+
+let env_hvt = Array_model.Array_eval.make_env ~cell_flavor:Finfet.Library.Hvt ()
+
+let prop_metrics_invariants =
+  QCheck.Test.make
+    ~name:"array metrics: positivity, max-delay and EDP identities" ~count:150
+    QCheck.(pair geometry_gen assist_gen)
+    (fun (g, a) ->
+      let m = Array_model.Array_eval.evaluate env_hvt g a in
+      let open Array_model.Array_eval in
+      m.d_read > 0.0 && m.d_write > 0.0 && m.e_total > 0.0
+      && abs_float (m.d_array -. max m.d_read m.d_write) < 1e-18
+      && abs_float (m.edp -. (m.e_total *. m.d_array)) < 1e-30
+      && m.e_leakage >= 0.0)
+
+let prop_physical_not_cheaper =
+  QCheck.Test.make
+    ~name:"physical accounting never undercuts strict accounting" ~count:80
+    QCheck.(pair geometry_gen assist_gen)
+    (fun (g, a) ->
+      let phys =
+        Array_model.Array_eval.make_env
+          ~accounting:Array_model.Array_eval.Physical
+          ~cell_flavor:Finfet.Library.Hvt ()
+      in
+      let ms = Array_model.Array_eval.evaluate env_hvt g a in
+      let mp = Array_model.Array_eval.evaluate phys g a in
+      mp.Array_model.Array_eval.e_read
+      >= ms.Array_model.Array_eval.e_read -. 1e-20)
+
+let prop_deeper_vssc_faster_reads =
+  QCheck.Test.make ~name:"deeper negative Gnd never slows the read" ~count:80
+    QCheck.(pair geometry_gen (int_bound 23))
+    (fun (g, step) ->
+      let at vssc =
+        (Array_model.Array_eval.evaluate env_hvt g
+           { Array_model.Components.vddc = 0.55; vssc; vwl = 0.55 })
+          .Array_model.Array_eval.d_read
+      in
+      at (-0.01 *. float_of_int (step + 1)) <= at (-0.01 *. float_of_int step) +. 1e-18)
+
+let prop_dcdc_bounds =
+  QCheck.Test.make ~name:"dcdc efficiency in (0,1], overhead >= 1" ~count:200
+    QCheck.(float_range (-0.9) 0.9)
+    (fun v_out ->
+      let eta = Array_model.Dcdc.efficiency ~v_out () in
+      eta > 0.0 && eta <= 1.0 && Array_model.Dcdc.overhead ~v_out () >= 1.0)
+
+(* --- workload --- *)
+
+let prop_trace_summary_bounds =
+  QCheck.Test.make ~name:"trace alpha and beta are probabilities" ~count:100
+    QCheck.(triple (int_bound 10_000) (float_range 0.0 1.0) (float_range 0.0 1.0))
+    (fun (seed, activity, read_fraction) ->
+      let p = Workload.Trace.Uniform { activity; read_fraction } in
+      let s = Workload.Trace.characterize (Workload.Trace.generate ~seed p ~length:500) in
+      s.Workload.Trace.alpha >= 0.0 && s.Workload.Trace.alpha <= 1.0
+      && s.Workload.Trace.beta >= 0.0 && s.Workload.Trace.beta <= 1.0)
+
+(* --- deck round trip on random RC ladders --- *)
+
+let prop_deck_roundtrip =
+  QCheck.Test.make ~name:"deck print/parse preserves random ladder solutions"
+    ~count:40
+    QCheck.(pair (int_bound 10_000) (int_range 2 8))
+    (fun (seed, stages) ->
+      let rng = Numerics.Rng.create ~seed in
+      let n = Spice.Netlist.create () in
+      let top = Spice.Netlist.fresh_node n "top" in
+      Spice.Netlist.vdc n ~plus:top ~minus:0 ~volts:1.0;
+      let rec build prev k =
+        if k = 0 then prev
+        else begin
+          let next = Spice.Netlist.fresh_node n (Printf.sprintf "n%d" k) in
+          Spice.Netlist.resistor n ~plus:prev ~minus:next
+            ~ohms:(Numerics.Rng.uniform_range rng ~lo:100.0 ~hi:1e5);
+          build next (k - 1)
+        end
+      in
+      let last = build top stages in
+      Spice.Netlist.resistor n ~plus:last ~minus:0
+        ~ohms:(Numerics.Rng.uniform_range rng ~lo:100.0 ~hi:1e5);
+      let original =
+        Spice.Dc.node_voltage (Spice.Dc.operating_point n) last
+      in
+      match Spice.Deck.parse ~lib (Spice.Deck.print n) with
+      | Error _ -> false
+      | Ok (n2, names) ->
+        (match Spice.Deck.node names (Spice.Netlist.node_name n last) with
+         | None -> false
+         | Some node ->
+           abs_float
+             (Spice.Dc.node_voltage (Spice.Dc.operating_point n2) node
+              -. original)
+           < 1e-6))
+
+(* --- macro: model-based testing against a reference map --- *)
+
+let prop_macro_matches_reference =
+  let op_gen =
+    QCheck.(list_of_size (Gen.int_range 1 60)
+              (pair (int_bound 127) (option (int_bound 0xFFFF))))
+  in
+  QCheck.Test.make
+    ~name:"macro contents always match a reference associative model" ~count:40
+    op_gen
+    (fun ops ->
+      let macro =
+        Sram_macro.Macro.create_optimized ~space:Opt.Space.reduced
+          ~capacity_bits:(1024 * 8) ~flavor:Finfet.Library.Hvt
+          ~method_:Opt.Space.M1 ()
+      in
+      let words = Sram_macro.Macro.words macro in
+      let reference = Hashtbl.create 32 in
+      List.for_all
+        (fun (addr_raw, op) ->
+          let addr = addr_raw mod words in
+          match op with
+          | Some data ->
+            let data = Int64.of_int data in
+            let r = Sram_macro.Macro.write macro ~addr ~data in
+            Hashtbl.replace reference addr r.Sram_macro.Macro.data;
+            true
+          | None ->
+            let got = (Sram_macro.Macro.read macro ~addr).Sram_macro.Macro.data in
+            (match Hashtbl.find_opt reference addr with
+             | Some expected -> got = expected
+             | None -> true (* power-up garbage: any value is legal *)))
+        ops)
+
+let to_alco = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "properties"
+    [ ("numerics",
+       List.map to_alco
+         [ prop_percentile_bounds; prop_brent_cubic; prop_table1d_clamp_bounds;
+           prop_power_law_roundtrip; prop_uniform_range ]);
+      ("spice", List.map to_alco [ prop_divider; prop_step_waveform_bounds ]);
+      ("device", List.map to_alco [ prop_ids_monotone_vgs; prop_stack_bounded_by_pull_down ]);
+      ("array_model",
+       List.map to_alco
+         [ prop_caps_positive; prop_metrics_invariants; prop_physical_not_cheaper;
+           prop_deeper_vssc_faster_reads; prop_dcdc_bounds ]);
+      ("workload", List.map to_alco [ prop_trace_summary_bounds ]);
+      ("deck", List.map to_alco [ prop_deck_roundtrip ]);
+      ("macro", List.map to_alco [ prop_macro_matches_reference ]) ]

@@ -1,0 +1,328 @@
+(* Tests of the 6T cell analyses: bistability, butterfly/SNM extraction,
+   write margin, dynamics, leakage and Monte Carlo — including every
+   cell-level anchor the paper reports. *)
+
+open Testutil
+
+let lib = Lazy.force Finfet.Library.default
+
+let cell_of flavor =
+  Finfet.Variation.nominal_cell
+    ~nfet:(Finfet.Library.nfet lib flavor)
+    ~pfet:(Finfet.Library.pfet lib flavor)
+
+let lvt = cell_of Finfet.Library.Lvt
+let hvt = cell_of Finfet.Library.Hvt
+let vdd = Finfet.Tech.vdd_nominal
+let delta = Finfet.Tech.min_margin
+
+let condition_tests =
+  [ case "hold condition has WL off and bitlines precharged" (fun () ->
+        let c = Sram_cell.Sram6t.hold () in
+        check_close_abs "wl" 0.0 c.Sram_cell.Sram6t.vwl;
+        check_close "bl" vdd c.Sram_cell.Sram6t.vbl;
+        check_close "vddc" vdd c.Sram_cell.Sram6t.vddc;
+        check_close_abs "vssc" 0.0 c.Sram_cell.Sram6t.vssc);
+    case "read condition clamps both bitlines" (fun () ->
+        let c = Sram_cell.Sram6t.read ~vddc:0.55 ~vssc:(-0.1) () in
+        check_close "vddc" 0.55 c.Sram_cell.Sram6t.vddc;
+        check_close "vssc" (-0.1) c.Sram_cell.Sram6t.vssc;
+        check_close "wl on" vdd c.Sram_cell.Sram6t.vwl;
+        check_close "blb" vdd c.Sram_cell.Sram6t.vblb);
+    case "write0 drives BL low and BLB high" (fun () ->
+        let c = Sram_cell.Sram6t.write0 ~vwl:0.54 () in
+        check_close_abs "bl" 0.0 c.Sram_cell.Sram6t.vbl;
+        check_close "blb" vdd c.Sram_cell.Sram6t.vblb;
+        check_close "vwl" 0.54 c.Sram_cell.Sram6t.vwl) ]
+
+let state_tests =
+  [ case "hold state is bistable" (fun () ->
+        let q0, qb0 = Sram_cell.Sram6t.solve_state ~q_init:0.0 ~cell:hvt (Sram_cell.Sram6t.hold ()) in
+        let q1, qb1 = Sram_cell.Sram6t.solve_state ~q_init:vdd ~cell:hvt (Sram_cell.Sram6t.hold ()) in
+        Alcotest.(check bool) "lobe 0" true (q0 < 0.1 *. vdd && qb0 > 0.9 *. vdd);
+        Alcotest.(check bool) "lobe 1" true (q1 > 0.9 *. vdd && qb1 < 0.1 *. vdd));
+    case "read disturbs but does not flip the nominal cell" (fun () ->
+        let q, qb = Sram_cell.Sram6t.solve_state ~q_init:0.0 ~cell:hvt (Sram_cell.Sram6t.read ()) in
+        Alcotest.(check bool) "still holds 0" true (q < qb);
+        Alcotest.(check bool) "bump above ground" true (q > 0.0));
+    case "storage node cap sums the attached terminals" (fun () ->
+        let c = Sram_cell.Sram6t.storage_node_cap hvt in
+        let expected =
+          hvt.Finfet.Variation.pull_up_l.Finfet.Device.c_drain
+          +. hvt.Finfet.Variation.pull_down_l.Finfet.Device.c_drain
+          +. hvt.Finfet.Variation.access_l.Finfet.Device.c_drain
+          +. hvt.Finfet.Variation.pull_up_r.Finfet.Device.c_gate
+          +. hvt.Finfet.Variation.pull_down_r.Finfet.Device.c_gate
+        in
+        check_close "cap" expected c) ]
+
+let butterfly_tests =
+  [ case "VTC is full swing and decreasing" (fun () ->
+        let vtc =
+          Sram_cell.Butterfly.trace_vtc ~points:41 ~cell:hvt ~side:`Left
+            ~access_on:false (Sram_cell.Sram6t.hold ())
+        in
+        check_decreasing "vtc" vtc.Sram_cell.Butterfly.outputs;
+        let n = Array.length vtc.Sram_cell.Butterfly.outputs in
+        check_close ~tol:1e-2 "high end" vdd vtc.Sram_cell.Butterfly.outputs.(0);
+        check_close_abs ~tol:5e-3 "low end" 0.0 vtc.Sram_cell.Butterfly.outputs.(n - 1));
+    case "hold butterfly lobes are symmetric for a nominal cell" (fun () ->
+        let b =
+          Sram_cell.Butterfly.trace ~points:41 ~cell:hvt ~access_on:false
+            (Sram_cell.Sram6t.hold ())
+        in
+        let snm = Sram_cell.Butterfly.snm_of_butterfly b in
+        check_close ~tol:0.02 "lobes" snm.Sram_cell.Butterfly.lobe_high
+          snm.Sram_cell.Butterfly.lobe_low);
+    case "HSNM exceeds RSNM (access disturbance)" (fun () ->
+        let h = Sram_cell.Margins.hold_snm ~points:41 ~cell:hvt vdd in
+        let r = Sram_cell.Margins.read_snm ~points:41 ~cell:hvt (Sram_cell.Sram6t.read ()) in
+        Alcotest.(check bool) "hsnm > rsnm" true (h > r));
+    case "HSNM at nominal exceeds the yield rule (paper)" (fun () ->
+        Alcotest.(check bool) "lvt" true (Sram_cell.Margins.hold_snm ~points:41 ~cell:lvt vdd > delta);
+        Alcotest.(check bool) "hvt" true (Sram_cell.Margins.hold_snm ~points:41 ~cell:hvt vdd > delta));
+    case "HSNM shrinks with the supply" (fun () ->
+        let snms =
+          Array.map
+            (fun v -> Sram_cell.Margins.hold_snm ~points:41 ~cell:hvt v)
+            [| 0.15; 0.25; 0.35; 0.45 |]
+        in
+        check_increasing ~strict:true "snm(vdd)" snms);
+    case "RSNM at nominal fails the yield rule without assist (paper)" (fun () ->
+        Alcotest.(check bool) "lvt" true
+          (Sram_cell.Margins.read_snm ~points:41 ~cell:lvt (Sram_cell.Sram6t.read ()) < delta);
+        Alcotest.(check bool) "hvt" true
+          (Sram_cell.Margins.read_snm ~points:41 ~cell:hvt (Sram_cell.Sram6t.read ()) < delta));
+    case "Vdd boost raises RSNM monotonically" (fun () ->
+        let snms =
+          Array.map
+            (fun vddc ->
+              Sram_cell.Margins.read_snm ~points:41 ~cell:hvt
+                (Sram_cell.Sram6t.read ~vddc ()))
+            [| 0.45; 0.50; 0.55; 0.60 |]
+        in
+        check_increasing ~strict:true "rsnm(vddc)" snms);
+    case "HVT RSNM meets the rule near the paper's 550 mV boost" (fun () ->
+        let at v =
+          Sram_cell.Margins.read_snm ~points:61 ~cell:hvt (Sram_cell.Sram6t.read ~vddc:v ())
+        in
+        Alcotest.(check bool) "500 fails" true (at 0.50 < delta);
+        Alcotest.(check bool) "550 passes" true (at 0.55 >= delta));
+    case "HVT needs less boost than LVT (paper ordering)" (fun () ->
+        let need cell =
+          Numerics.Roots.bisect ~tol:1e-3
+            (fun v ->
+              Sram_cell.Margins.read_snm ~points:41 ~cell
+                (Sram_cell.Sram6t.read ~vddc:v ())
+              -. delta)
+            ~lo:0.45 ~hi:0.75
+        in
+        Alcotest.(check bool) "ordering" true (need hvt < need lvt));
+    case "WL underdrive raises RSNM" (fun () ->
+        let low =
+          Sram_cell.Margins.read_snm ~points:41 ~cell:hvt
+            (Sram_cell.Sram6t.read ~vwl:0.30 ())
+        in
+        let nom =
+          Sram_cell.Margins.read_snm ~points:41 ~cell:hvt (Sram_cell.Sram6t.read ())
+        in
+        Alcotest.(check bool) "wlud stabilizes" true (low > nom)) ]
+
+let write_tests =
+  [ case "cell flips above the minimum WL level and not below" (fun () ->
+        let c = Sram_cell.Sram6t.write0 () in
+        let flip = Sram_cell.Margins.minimum_flipping_vwl ~cell:hvt c in
+        Alcotest.(check bool) "below holds" false
+          (Sram_cell.Margins.flips_at_vwl ~cell:hvt c ~vwl:(flip -. 0.02));
+        Alcotest.(check bool) "above flips" true
+          (Sram_cell.Margins.flips_at_vwl ~cell:hvt c ~vwl:(flip +. 0.02)));
+    case "WM at nominal WL fails the yield rule (paper)" (fun () ->
+        Alcotest.(check bool) "hvt" true
+          (Sram_cell.Margins.write_margin ~cell:hvt (Sram_cell.Sram6t.write0 ()) < delta));
+    case "WL overdrive adds exactly its own headroom" (fun () ->
+        let base = Sram_cell.Margins.write_margin ~cell:hvt (Sram_cell.Sram6t.write0 ()) in
+        let boosted =
+          Sram_cell.Margins.write_margin ~cell:hvt (Sram_cell.Sram6t.write0 ~vwl:0.54 ())
+        in
+        check_close ~tol:1e-2 "linear headroom" (base +. 0.09) boosted);
+    case "HVT WM meets the rule near the paper's 540 mV overdrive" (fun () ->
+        let wm v =
+          Sram_cell.Margins.write_margin ~cell:hvt (Sram_cell.Sram6t.write0 ~vwl:v ())
+        in
+        Alcotest.(check bool) "510 fails" true (wm 0.51 < delta);
+        Alcotest.(check bool) "560 passes" true (wm 0.56 >= delta));
+    case "negative BL improves the write margin" (fun () ->
+        let base = Sram_cell.Margins.write_margin ~cell:hvt (Sram_cell.Sram6t.write0 ()) in
+        let assisted =
+          Sram_cell.Margins.write_margin ~cell:hvt
+            (Sram_cell.Sram6t.write0 ~vbl:(-0.10) ())
+        in
+        Alcotest.(check bool) "negbl helps" true (assisted > base +. 0.03)) ]
+
+let dynamics_tests =
+  [ case "write completes and the delay is picosecond-scale" (fun () ->
+        let r = Sram_cell.Dynamics.write_delay ~cell:hvt (Sram_cell.Sram6t.write0 ()) in
+        Alcotest.(check bool) "flipped" true r.Sram_cell.Dynamics.flipped;
+        check_within "delay" ~lo:0.2e-12 ~hi:15e-12 r.Sram_cell.Dynamics.delay);
+    case "WL overdrive shortens the write (Figure 5a trend)" (fun () ->
+        let base = Sram_cell.Dynamics.write_delay ~cell:hvt (Sram_cell.Sram6t.write0 ()) in
+        let fast =
+          Sram_cell.Dynamics.write_delay ~cell:hvt (Sram_cell.Sram6t.write0 ~vwl:0.60 ())
+        in
+        Alcotest.(check bool) "faster" true
+          (fast.Sram_cell.Dynamics.delay < base.Sram_cell.Dynamics.delay));
+    case "too-low WL never flips in the window" (fun () ->
+        let r =
+          Sram_cell.Dynamics.write_delay ~cell:hvt (Sram_cell.Sram6t.write0 ~vwl:0.20 ())
+        in
+        Alcotest.(check bool) "no flip" false r.Sram_cell.Dynamics.flipped);
+    case "read current matches the calibrated stack solve" (fun () ->
+        let from_cell =
+          Sram_cell.Dynamics.read_current ~cell:hvt (Sram_cell.Sram6t.read ~vddc:0.55 ())
+        in
+        let from_stack = Finfet.Library.i_read lib Finfet.Library.Hvt ~vddc:0.55 ~vssc:0.0 in
+        check_close ~tol:0.05 "stack vs cell" from_stack from_cell);
+    case "negative Gnd boosts the cell read current" (fun () ->
+        let base = Sram_cell.Dynamics.read_current ~cell:hvt (Sram_cell.Sram6t.read ()) in
+        let boosted =
+          Sram_cell.Dynamics.read_current ~cell:hvt
+            (Sram_cell.Sram6t.read ~vssc:(-0.24) ())
+        in
+        Alcotest.(check bool) "boost" true (boosted > 2.0 *. base)) ]
+
+let leakage_tests =
+  [ case "LVT leakage matches the paper's 1.692 nW" (fun () ->
+        check_close ~tol:0.02 "lvt" 1.692e-9 (Sram_cell.Leakage.power ~cell:lvt ()));
+    case "HVT leakage matches the paper's 0.082 nW" (fun () ->
+        check_close ~tol:0.03 "hvt" 0.082e-9 (Sram_cell.Leakage.power ~cell:hvt ()));
+    case "leakage grows with the supply" (fun () ->
+        let ps =
+          Array.map
+            (fun v -> Sram_cell.Leakage.power ~vdd:v ~cell:lvt ())
+            [| 0.15; 0.25; 0.35; 0.45 |]
+        in
+        check_increasing ~strict:true "p(vdd)" ps);
+    case "scaled LVT still leaks more than nominal HVT (paper: 5x)" (fun () ->
+        let lvt_100 = Sram_cell.Leakage.power ~vdd:0.100 ~cell:lvt () in
+        let hvt_450 = Sram_cell.Leakage.power ~cell:hvt () in
+        check_within "ratio" ~lo:3.0 ~hi:7.0 (lvt_100 /. hvt_450));
+    case "leakage is positive under assist rails too" (fun () ->
+        let p =
+          Sram_cell.Leakage.power_at_condition ~cell:hvt
+            (Sram_cell.Sram6t.read ~vddc:0.55 ~vssc:(-0.24) ())
+        in
+        Alcotest.(check bool) "positive" true (p > 0.0)) ]
+
+let montecarlo_tests =
+  [ case "sampling is deterministic per seed" (fun () ->
+        let run () =
+          Sram_cell.Montecarlo.sample_margins ~points:31 ~seed:21 ~n:5
+            ~nfet:(Finfet.Library.nfet lib Finfet.Library.Hvt)
+            ~pfet:(Finfet.Library.pfet lib Finfet.Library.Hvt)
+            ~read_condition:(Sram_cell.Sram6t.read ~vddc:0.55 ())
+            ~write_condition:(Sram_cell.Sram6t.write0 ~vwl:0.55 ())
+            ()
+        in
+        let a = run () and b = run () in
+        Array.iteri
+          (fun i x -> check_close "same rsnm" x b.Sram_cell.Montecarlo.rsnm.(i))
+          a.Sram_cell.Montecarlo.rsnm);
+    case "means sit near the nominal margins" (fun () ->
+        let s =
+          Sram_cell.Montecarlo.sample_margins ~points:31 ~sigma_vt:0.010 ~seed:22
+            ~n:12
+            ~nfet:(Finfet.Library.nfet lib Finfet.Library.Hvt)
+            ~pfet:(Finfet.Library.pfet lib Finfet.Library.Hvt)
+            ~read_condition:(Sram_cell.Sram6t.read ~vddc:0.55 ())
+            ~write_condition:(Sram_cell.Sram6t.write0 ~vwl:0.55 ())
+            ()
+        in
+        let summary = Sram_cell.Montecarlo.summarize ~k:3.0 s in
+        let nominal_rsnm =
+          Sram_cell.Margins.read_snm ~points:31 ~cell:hvt
+            (Sram_cell.Sram6t.read ~vddc:0.55 ())
+        in
+        check_close ~tol:0.2 "mu rsnm" nominal_rsnm summary.Sram_cell.Montecarlo.mu_rsnm;
+        Alcotest.(check bool) "variation spreads" true
+          (summary.Sram_cell.Montecarlo.sigma_rsnm > 0.0));
+    case "k-sigma constraint is stricter for larger k" (fun () ->
+        let s =
+          Sram_cell.Montecarlo.sample_margins ~points:31 ~sigma_vt:0.015 ~seed:23
+            ~n:10
+            ~nfet:(Finfet.Library.nfet lib Finfet.Library.Hvt)
+            ~pfet:(Finfet.Library.pfet lib Finfet.Library.Hvt)
+            ~read_condition:(Sram_cell.Sram6t.read ~vddc:0.55 ())
+            ~write_condition:(Sram_cell.Sram6t.write0 ~vwl:0.55 ())
+            ()
+        in
+        let w1 = (Sram_cell.Montecarlo.summarize ~k:1.0 s).Sram_cell.Montecarlo.worst_mu_minus_k_sigma in
+        let w6 = (Sram_cell.Montecarlo.summarize ~k:6.0 s).Sram_cell.Montecarlo.worst_mu_minus_k_sigma in
+        Alcotest.(check bool) "k=6 stricter" true (w6 < w1));
+    case "yield fraction is a fraction" (fun () ->
+        let s =
+          Sram_cell.Montecarlo.sample_margins ~points:31 ~seed:24 ~n:8
+            ~nfet:(Finfet.Library.nfet lib Finfet.Library.Hvt)
+            ~pfet:(Finfet.Library.pfet lib Finfet.Library.Hvt)
+            ~read_condition:(Sram_cell.Sram6t.read ~vddc:0.55 ())
+            ~write_condition:(Sram_cell.Sram6t.write0 ~vwl:0.55 ())
+            ()
+        in
+        check_within "fraction" ~lo:0.0 ~hi:1.0
+          (Sram_cell.Montecarlo.yield_fraction ~delta:0.10 s)) ]
+
+let weak_cell =
+  (* +3 sigma pull-down, -3 sigma access: the classic read-unstable tail. *)
+  { hvt with
+    Finfet.Variation.pull_down_l =
+      Finfet.Device.with_vt (Finfet.Library.nfet lib Finfet.Library.Hvt) 0.47;
+    Finfet.Variation.access_l =
+      Finfet.Device.with_vt (Finfet.Library.nfet lib Finfet.Library.Hvt) 0.23 }
+
+let dynamic_tests =
+  [ case "a statically bistable cell survives any pulse" (fun () ->
+        Alcotest.(check bool) "none" true
+          (Sram_cell.Dynamic_stability.critical_pulse ~cell:hvt
+             ~condition:(Sram_cell.Sram6t.read ()) ()
+           = None));
+    case "a statically unstable tail cell has a finite critical pulse" (fun () ->
+        let cond = Sram_cell.Sram6t.read () in
+        Alcotest.(check bool) "statically dead" true
+          (Sram_cell.Margins.read_snm ~points:41 ~cell:weak_cell cond < 0.01);
+        match Sram_cell.Dynamic_stability.critical_pulse ~cell:weak_cell ~condition:cond () with
+        | Some p -> check_within "pulse" ~lo:2e-12 ~hi:150e-12 p
+        | None -> Alcotest.fail "expected a finite critical pulse");
+    case "survival is monotone in the pulse width" (fun () ->
+        let cond = Sram_cell.Sram6t.read () in
+        match Sram_cell.Dynamic_stability.critical_pulse ~cell:weak_cell ~condition:cond () with
+        | None -> Alcotest.fail "expected instability"
+        | Some p ->
+          Alcotest.(check bool) "short ok" true
+            (Sram_cell.Dynamic_stability.survives_pulse ~cell:weak_cell
+               ~condition:cond ~pulse:(0.5 *. p) ());
+          Alcotest.(check bool) "long flips" false
+            (Sram_cell.Dynamic_stability.survives_pulse ~cell:weak_cell
+               ~condition:cond ~pulse:(3.0 *. p) ()));
+    case "the Vdd-boost assist extends the critical pulse" (fun () ->
+        let base =
+          Sram_cell.Dynamic_stability.critical_pulse ~cell:weak_cell
+            ~condition:(Sram_cell.Sram6t.read ()) ()
+        in
+        let boosted =
+          Sram_cell.Dynamic_stability.critical_pulse ~cell:weak_cell
+            ~condition:(Sram_cell.Sram6t.read ~vddc:0.55 ()) ()
+        in
+        match (base, boosted) with
+        | Some b, Some a -> Alcotest.(check bool) "longer" true (a > b)
+        | Some _, None -> () (* boost made it statically stable: even better *)
+        | None, _ -> Alcotest.fail "expected base instability") ]
+
+let () =
+  Alcotest.run "sram_cell"
+    [ ("conditions", condition_tests);
+      ("state", state_tests);
+      ("butterfly", butterfly_tests);
+      ("write", write_tests);
+      ("dynamics", dynamics_tests);
+      ("leakage", leakage_tests);
+      ("dynamic", dynamic_tests);
+      ("montecarlo", montecarlo_tests) ]

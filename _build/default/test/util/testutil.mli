@@ -1,0 +1,20 @@
+(** Shared assertion helpers for the test suites. *)
+
+val check_close : ?tol:float -> string -> float -> float -> unit
+(** Relative closeness: |a - b| <= tol * max(|a|, |b|, 1e-30).
+    Default tolerance 1e-9. *)
+
+val check_close_abs : ?tol:float -> string -> float -> float -> unit
+(** Absolute closeness; default tolerance 1e-12. *)
+
+val check_within : string -> lo:float -> hi:float -> float -> unit
+(** Asserts lo <= x <= hi. *)
+
+val check_increasing : ?strict:bool -> string -> float array -> unit
+val check_decreasing : ?strict:bool -> string -> float array -> unit
+
+val case : string -> (unit -> unit) -> unit Alcotest.test_case
+(** Quick test case shorthand. *)
+
+val slow_case : string -> (unit -> unit) -> unit Alcotest.test_case
+(** `Slow test case (excluded by [dune runtest] with ALCOTEST_QUICK). *)
