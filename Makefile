@@ -1,0 +1,22 @@
+# Tier-1 verification: everything CI gates on.
+#   make check   build + unit/property tests + an end-to-end smoke run
+#   make bench   runtime scaling benchmark (writes BENCH_runtime.json)
+
+.PHONY: all check test bench clean
+
+all:
+	dune build
+
+check:
+	dune build
+	dune runtest
+	dune exec bench/main.exe -- headline --smoke
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- runtime
+
+clean:
+	dune clean

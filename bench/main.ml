@@ -690,7 +690,113 @@ let timing () =
     (List.sort compare !rows);
   Sram_edp.Report.print table
 
+(* ----- runtime scaling benchmark ----- *)
+
+(* Cold Table 4 sweeps at 1 / 2 / 4 jobs: wall time, evaluation rate and
+   the memo hit rates once the sweep is warm.  Results also land in
+   BENCH_runtime.json for the docs. *)
+let runtime_bench () =
+  section "Runtime: parallel sweep scaling and memo effectiveness";
+  let capacities = Sram_edp.Framework.paper_capacities in
+  let configs = Sram_edp.Framework.all_configs in
+  let runs =
+    List.map
+      (fun jobs ->
+        Runtime.Memo.reset_all ();
+        Runtime.Telemetry.reset ();
+        let pool = Runtime.Pool.create ~jobs () in
+        let t0 = Runtime.Telemetry.now () in
+        let designs =
+          Sram_edp.Framework.sweep_capacities ~pool ~capacities ~configs ()
+        in
+        let wall = Runtime.Telemetry.now () -. t0 in
+        Runtime.Pool.shutdown pool;
+        let evals =
+          Runtime.Telemetry.value (Runtime.Telemetry.counter "exhaustive.search")
+        in
+        let memos =
+          List.filter
+            (fun (s : Runtime.Memo.stats) ->
+              s.Runtime.Memo.hits + s.Runtime.Memo.misses > 0)
+            (Runtime.Memo.registered_stats ())
+        in
+        (jobs, wall, List.length designs, evals, memos))
+      [ 1; 2; 4 ]
+  in
+  let wall_1j =
+    match runs with (_, w, _, _, _) :: _ -> w | [] -> nan
+  in
+  let table =
+    Sram_edp.Report.create
+      ~columns:[ "jobs"; "wall time"; "speedup"; "designs"; "evals"; "evals/s" ]
+  in
+  List.iter
+    (fun (jobs, wall, designs, evals, _) ->
+      Sram_edp.Report.add_row table
+        [ string_of_int jobs;
+          Printf.sprintf "%.2f s" wall;
+          Printf.sprintf "%.2fx" (wall_1j /. wall);
+          string_of_int designs;
+          string_of_int evals;
+          Printf.sprintf "%.0f" (float_of_int evals /. wall) ])
+    runs;
+  Sram_edp.Report.print table;
+  (match runs with
+   | (_, _, _, _, memos) :: _ ->
+     print_endline "memo hit rates after one cold sweep:";
+     List.iter
+       (fun (s : Runtime.Memo.stats) ->
+         Printf.printf "  %-24s %6.1f%% (%d hits / %d misses)\n"
+           s.Runtime.Memo.name
+           (100.0 *. Runtime.Memo.hit_rate s)
+           s.Runtime.Memo.hits s.Runtime.Memo.misses)
+       memos
+   | [] -> ());
+  let json =
+    Sram_edp.Json_out.Obj
+      [ ("benchmark", Sram_edp.Json_out.String "table4-sweep");
+        ("host_cores", Sram_edp.Json_out.Int (Domain.recommended_domain_count ()));
+        ("capacities_bits",
+         Sram_edp.Json_out.List
+           (List.map (fun c -> Sram_edp.Json_out.Int c) capacities));
+        ("runs",
+         Sram_edp.Json_out.List
+           (List.map
+              (fun (jobs, wall, designs, evals, memos) ->
+                Sram_edp.Json_out.Obj
+                  [ ("jobs", Sram_edp.Json_out.Int jobs);
+                    ("wall_s", Sram_edp.Json_out.Float wall);
+                    ("speedup", Sram_edp.Json_out.Float (wall_1j /. wall));
+                    ("designs", Sram_edp.Json_out.Int designs);
+                    ("evaluations", Sram_edp.Json_out.Int evals);
+                    ("memos",
+                     Sram_edp.Json_out.List
+                       (List.map Sram_edp.Json_out.of_memo_stats memos)) ])
+              runs)) ]
+  in
+  let oc = open_out "BENCH_runtime.json" in
+  output_string oc (Sram_edp.Json_out.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_runtime.json"
+
 (* ----- dispatch ----- *)
+
+(* --smoke shrinks the headline experiment to the reduced space at one
+   capacity — a seconds-long end-to-end liveness check for `make check`. *)
+let smoke = ref false
+
+let headline_smoke () =
+  section "Headline (smoke: reduced space, 1KB, M2 HVT vs LVT)";
+  let h =
+    Sram_edp.Framework.headline ~space:Opt.Space.reduced
+      ~capacities:[ 1024 * 8 ] ()
+  in
+  Printf.printf
+    "EDP reduction %.1f%%, delay penalty %.1f%% (reduced space; paper-space \
+     numbers come from the full headline run)\n"
+    (100.0 *. h.Sram_edp.Framework.avg_edp_reduction)
+    (100.0 *. h.Sram_edp.Framework.avg_delay_penalty)
 
 let run_one = function
   | "fig2a" | "fig2b" -> Sram_edp.Experiments.print_fig2 ()
@@ -700,20 +806,32 @@ let run_one = function
   | "table4" -> Sram_edp.Experiments.print_table4 ()
   | "fig7a" | "fig7b" | "fig7c" -> Sram_edp.Experiments.print_fig7 ()
   | "fig7d" -> Sram_edp.Experiments.print_fig7d ()
-  | "headline" -> Sram_edp.Experiments.print_headline ()
+  | "headline" ->
+    if !smoke then headline_smoke () else Sram_edp.Experiments.print_headline ()
   | "ablation" -> ablations ()
   | "timing" -> timing ()
+  | "runtime" -> runtime_bench ()
   | "all" ->
     Sram_edp.Experiments.run_all ();
     ablations ();
     timing ()
   | other ->
     Printf.eprintf
-      "unknown experiment %S (try fig2a..fig7d, table4, headline, ablation, timing, all)\n"
+      "unknown experiment %S (try fig2a..fig7d, table4, headline, ablation, \
+       timing, runtime, all)\n"
       other;
     exit 1
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] | [] -> run_one "all"
-  | _ :: args -> List.iter run_one args
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flags, experiments = List.partition (fun a -> String.length a > 0 && a.[0] = '-') args in
+  List.iter
+    (function
+      | "--smoke" -> smoke := true
+      | other ->
+        Printf.eprintf "unknown flag %S (try --smoke)\n" other;
+        exit 1)
+    flags;
+  match experiments with
+  | [] -> run_one "all"
+  | names -> List.iter run_one names

@@ -106,8 +106,33 @@ let print_optimized (o : Sram_edp.Framework.optimized) =
 let json_flag =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for the search (1 = sequential; results are \
+                 bit-identical for any value).")
+
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"After the run, print runtime telemetry: evaluation rates, \
+                 per-phase wall time and memo-cache hit rates.")
+
+(* Configure the default pool before the command body, report afterwards.
+   Every search entry point picks the default pool up, so --jobs needs no
+   further plumbing. *)
+let with_runtime ~jobs ~stats f =
+  Runtime.Pool.set_default_jobs jobs;
+  let result = f () in
+  if stats then begin
+    Runtime.Telemetry.print_report ();
+    Runtime.Memo.print_stats ()
+  end;
+  result
+
 let optimize_cmd =
-  let run capacity flavor method_ accounting json =
+  let run capacity flavor method_ accounting json jobs stats =
+    with_runtime ~jobs ~stats @@ fun () ->
     let o =
       Sram_edp.Framework.optimize ~accounting ~capacity_bits:capacity
         ~config:{ Sram_edp.Framework.flavor; method_ } ()
@@ -134,17 +159,28 @@ let optimize_cmd =
     else print_optimized o
   in
   Cmd.v (Cmd.info "optimize" ~doc:"Co-optimize one SRAM array for minimum EDP")
-    Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ accounting_arg $ json_flag)
+    Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ accounting_arg
+          $ json_flag $ jobs_arg $ stats_arg)
 
 let sweep_cmd =
-  let run json =
-    if json then
+  let run json jobs stats =
+    with_runtime ~jobs ~stats @@ fun () ->
+    if json then begin
+      (* Evaluate the sweep before snapshotting the telemetry: list and
+         [@] operands evaluate right-to-left in OCaml. *)
+      let designs = Sram_edp.Json_out.design_table_json () in
+      let headline =
+        Sram_edp.Json_out.of_headline (Sram_edp.Framework.headline ())
+      in
+      let fields = [ ("designs", designs); ("headline", headline) ] in
+      let fields =
+        if stats then
+          fields @ [ ("runtime", Sram_edp.Json_out.runtime_stats_json ()) ]
+        else fields
+      in
       print_endline
-        (Sram_edp.Json_out.to_string_pretty
-           (Sram_edp.Json_out.Obj
-              [ ("designs", Sram_edp.Json_out.design_table_json ());
-                ("headline",
-                 Sram_edp.Json_out.of_headline (Sram_edp.Framework.headline ())) ]))
+        (Sram_edp.Json_out.to_string_pretty (Sram_edp.Json_out.Obj fields))
+    end
     else begin
       Sram_edp.Experiments.print_table4 ();
       Sram_edp.Experiments.print_fig7 ();
@@ -153,12 +189,14 @@ let sweep_cmd =
     end
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Regenerate Table 4 and Figure 7 across capacities")
-    Term.(const run $ json_flag)
+    Term.(const run $ json_flag $ jobs_arg $ stats_arg)
 
 let experiments_cmd =
-  let run () = Sram_edp.Experiments.run_all () in
+  let run jobs stats =
+    with_runtime ~jobs ~stats Sram_edp.Experiments.run_all
+  in
   Cmd.v (Cmd.info "experiments" ~doc:"Run the full paper-reproduction suite")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg $ stats_arg)
 
 let margins_cmd =
   let run flavor vddc vssc vwl =
@@ -239,7 +277,8 @@ let assist_cmd =
     Term.(const run $ technique_arg)
 
 let anneal_cmd =
-  let run capacity flavor method_ seed =
+  let run capacity flavor method_ seed jobs stats =
+    with_runtime ~jobs ~stats @@ fun () ->
     let env = Array_model.Array_eval.make_env ~cell_flavor:flavor () in
     let exhaustive =
       Opt.Exhaustive.search ~env ~capacity_bits:capacity ~method_ ()
@@ -256,10 +295,11 @@ let anneal_cmd =
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Annealing RNG seed.") in
   Cmd.v (Cmd.info "anneal" ~doc:"Compare simulated annealing against exhaustive search")
-    Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ seed)
+    Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ seed $ jobs_arg $ stats_arg)
 
 let bank_cmd =
-  let run capacity flavor method_ max_banks =
+  let run capacity flavor method_ max_banks jobs stats =
+    with_runtime ~jobs ~stats @@ fun () ->
     let env = Array_model.Array_eval.make_env ~cell_flavor:flavor () in
     let best, all =
       Cache_model.Banked.optimize ~space:Opt.Space.reduced ~max_banks ~env
@@ -295,7 +335,8 @@ let bank_cmd =
   Cmd.v
     (Cmd.info "bank"
        ~doc:"Co-optimize the bank count on top of the array-level search")
-    Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ max_banks)
+    Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ max_banks
+          $ jobs_arg $ stats_arg)
 
 let retention_cmd =
   let run flavor =

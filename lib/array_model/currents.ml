@@ -5,7 +5,7 @@ type t = {
   cell_flavor : Finfet.Library.flavor;
   read_current_model :
     [ `Simulated | `Paper_fit | `Custom of vddc:float -> vssc:float -> float ];
-  read_cache : (float * float, float) Hashtbl.t;
+  read_cache : (float * float, float) Runtime.Memo.t;
 }
 
 let create ~lib ~cell_flavor ~read_current_model =
@@ -14,7 +14,10 @@ let create ~lib ~cell_flavor ~read_current_model =
     lib;
     cell_flavor;
     read_current_model;
-    read_cache = Hashtbl.create 64 }
+    (* Domain-safe: the exhaustive search hits this from pool workers.
+       A search only ever sees |vssc_values| distinct keys, so the bound
+       is generous. *)
+    read_cache = Runtime.Memo.create ~name:"currents.read" ~capacity:1024 () }
 
 let vdd = Finfet.Tech.vdd_nominal
 
@@ -53,10 +56,5 @@ let read_current t ~vddc ~vssc =
   | `Paper_fit -> Finfet.Calibration.paper_read_current ~vddc ~vssc
   | `Custom f -> f ~vddc ~vssc
   | `Simulated ->
-    let key = (vddc, vssc) in
-    (match Hashtbl.find_opt t.read_cache key with
-     | Some i -> i
-     | None ->
-       let i = Finfet.Library.i_read t.lib t.cell_flavor ~vddc ~vssc in
-       Hashtbl.add t.read_cache key i;
-       i)
+    Runtime.Memo.find_or_compute t.read_cache (vddc, vssc) (fun () ->
+        Finfet.Library.i_read t.lib t.cell_flavor ~vddc ~vssc)

@@ -46,17 +46,13 @@ let characterize ?(delta_vs = Finfet.Tech.delta_v_sense) ~lib ~cell_flavor () =
     p_leak_cell = Sram_cell.Leakage.power ~cell ();
   }
 
-let shared_cache : (Finfet.Library.flavor, t) Hashtbl.t = Hashtbl.create 2
+let shared_cache : (Finfet.Library.flavor, t) Runtime.Memo.t =
+  Runtime.Memo.create ~name:"periphery.characterize" ~capacity:8 ()
 
 let shared ~cell_flavor =
-  match Hashtbl.find_opt shared_cache cell_flavor with
-  | Some t -> t
-  | None ->
-    let t =
-      characterize ~lib:(Lazy.force Finfet.Library.default) ~cell_flavor ()
-    in
-    Hashtbl.add shared_cache cell_flavor t;
-    t
+  Runtime.Memo.find_or_compute shared_cache cell_flavor (fun () ->
+      Runtime.Telemetry.time "periphery.characterize" (fun () ->
+          characterize ~lib:(Lazy.force Finfet.Library.default) ~cell_flavor ()))
 
 let row_dec t ~bits =
   assert (bits >= 0 && bits < Array.length t.row_decoder);

@@ -29,50 +29,52 @@ type cache_key = {
   k_default_space : bool;
 }
 
-let cache : (cache_key, optimized) Hashtbl.t = Hashtbl.create 64
+let cache : (cache_key, optimized) Runtime.Memo.t =
+  Runtime.Memo.create ~name:"framework.optimize" ~capacity:256 ()
 
 let env_cache :
   (Finfet.Library.flavor * Array_model.Array_eval.accounting,
-   Array_model.Array_eval.env) Hashtbl.t = Hashtbl.create 8
+   Array_model.Array_eval.env)
+  Runtime.Memo.t =
+  Runtime.Memo.create ~name:"framework.env" ~capacity:8 ()
 
 let env_for ~flavor ~accounting =
-  match Hashtbl.find_opt env_cache (flavor, accounting) with
-  | Some env -> env
-  | None ->
-    let env = Array_model.Array_eval.make_env ~accounting ~cell_flavor:flavor () in
-    Hashtbl.add env_cache (flavor, accounting) env;
-    env
+  Runtime.Memo.find_or_compute env_cache (flavor, accounting) (fun () ->
+      Array_model.Array_eval.make_env ~accounting ~cell_flavor:flavor ())
 
 let optimize ?space ?(objective = Opt.Objective.Energy_delay_product)
-    ?(accounting = Array_model.Array_eval.Paper_strict) ?(w = 64)
+    ?(accounting = Array_model.Array_eval.Paper_strict) ?pool ?(w = 64)
     ~capacity_bits ~config () =
   let default_space = space = None in
   let key =
     { k_capacity = capacity_bits; k_config = config; k_objective = objective;
       k_accounting = accounting; k_w = w; k_default_space = default_space }
   in
-  match (if default_space then Hashtbl.find_opt cache key else None) with
-  | Some hit -> hit
-  | None ->
+  let compute () =
     let env = env_for ~flavor:config.flavor ~accounting in
     let result =
-      Opt.Exhaustive.search ?space ~objective ~w ~env ~capacity_bits
+      Opt.Exhaustive.search ?space ~objective ?pool ~w ~env ~capacity_bits
         ~method_:config.method_ ()
     in
-    let value = { capacity_bits; config; result } in
-    if default_space then Hashtbl.add cache key value;
-    value
+    { capacity_bits; config; result }
+  in
+  (* Only default-space runs are memoized: the key does not describe a
+     custom space's contents. *)
+  if default_space then Runtime.Memo.find_or_compute cache key compute
+  else compute ()
 
 let paper_capacities =
   List.map (fun bytes -> bytes * 8) [ 128; 256; 1024; 4096; 16384 ]
 
-let sweep_capacities ?space ?accounting ~capacities ~configs () =
-  List.concat_map
-    (fun capacity_bits ->
-      List.map
-        (fun config -> optimize ?space ?accounting ~capacity_bits ~config ())
-        configs)
-    capacities
+let sweep_capacities ?space ?accounting ?pool ~capacities ~configs () =
+  Runtime.Telemetry.time "framework.sweep" (fun () ->
+      List.concat_map
+        (fun capacity_bits ->
+          List.map
+            (fun config ->
+              optimize ?space ?accounting ?pool ~capacity_bits ~config ())
+            configs)
+        capacities)
 
 let metrics o = o.result.Opt.Exhaustive.best.Opt.Exhaustive.metrics
 let geometry o = o.result.Opt.Exhaustive.best.Opt.Exhaustive.geometry
@@ -85,7 +87,7 @@ type headline = {
   per_capacity : (int * float * float) list;
 }
 
-let headline ?capacities ?accounting () =
+let headline ?capacities ?space ?accounting ?pool () =
   let capacities =
     match capacities with
     | Some c -> c
@@ -95,11 +97,11 @@ let headline ?capacities ?accounting () =
     List.map
       (fun capacity_bits ->
         let hvt =
-          optimize ?accounting ~capacity_bits
+          optimize ?space ?accounting ?pool ~capacity_bits
             ~config:{ flavor = Finfet.Library.Hvt; method_ = Opt.Space.M2 } ()
         in
         let lvt =
-          optimize ?accounting ~capacity_bits
+          optimize ?space ?accounting ?pool ~capacity_bits
             ~config:{ flavor = Finfet.Library.Lvt; method_ = Opt.Space.M2 } ()
         in
         let mh = metrics hvt and ml = metrics lvt in

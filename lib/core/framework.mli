@@ -28,13 +28,17 @@ val optimize :
   ?space:Opt.Space.t ->
   ?objective:Opt.Objective.t ->
   ?accounting:Array_model.Array_eval.accounting ->
+  ?pool:Runtime.Pool.t ->
   ?w:int ->
   capacity_bits:int ->
   config:config ->
   unit ->
   optimized
-(** One full co-optimization run.  Results are memoized per
-    (capacity, config, objective, accounting, w) for the default space. *)
+(** One full co-optimization run.  Results are memoized (bounded LRU)
+    per (capacity, config, objective, accounting, w) for the default
+    space, so repeated CLI / serving requests for the same design are
+    cache hits.  [pool] parallelizes the underlying exhaustive search
+    deterministically (default: {!Runtime.Pool.default}). *)
 
 val paper_capacities : int list
 (** 128B, 256B, 1KB, 4KB, 16KB — in bits. *)
@@ -42,6 +46,7 @@ val paper_capacities : int list
 val sweep_capacities :
   ?space:Opt.Space.t ->
   ?accounting:Array_model.Array_eval.accounting ->
+  ?pool:Runtime.Pool.t ->
   capacities:int list ->
   configs:config list ->
   unit ->
@@ -60,7 +65,9 @@ type headline = {
 
 val headline :
   ?capacities:int list ->
+  ?space:Opt.Space.t ->
   ?accounting:Array_model.Array_eval.accounting ->
+  ?pool:Runtime.Pool.t ->
   unit ->
   headline
 (** The paper's abstract numbers: HVT-M2 vs LVT-M2 over 1KB..16KB

@@ -142,3 +142,36 @@ let of_headline (h : Framework.headline) =
 
 let design_table_json ?capacities () =
   List (List.map of_design_row (Experiments.design_table ?capacities ()))
+
+let of_memo_stats (s : Runtime.Memo.stats) =
+  Obj
+    [ ("name", String s.Runtime.Memo.name);
+      ("capacity", Int s.Runtime.Memo.capacity);
+      ("length", Int s.Runtime.Memo.length);
+      ("hits", Int s.Runtime.Memo.hits);
+      ("misses", Int s.Runtime.Memo.misses);
+      ("evictions", Int s.Runtime.Memo.evictions);
+      ("hit_rate", Float (Runtime.Memo.hit_rate s)) ]
+
+let of_telemetry (snap : Runtime.Telemetry.snapshot) =
+  Obj
+    [ ("counters",
+       Obj
+         (List.map
+            (fun (name, n) -> (name, Int n))
+            snap.Runtime.Telemetry.counters));
+      ("spans",
+       List
+         (List.map
+            (fun (s : Runtime.Telemetry.span) ->
+              Obj
+                [ ("name", String s.Runtime.Telemetry.span_name);
+                  ("calls", Int s.Runtime.Telemetry.calls);
+                  ("total_s", Float s.Runtime.Telemetry.total_s) ])
+            snap.Runtime.Telemetry.spans)) ]
+
+let runtime_stats_json () =
+  Obj
+    [ ("jobs", Int (Runtime.Pool.default_jobs ()));
+      ("telemetry", of_telemetry (Runtime.Telemetry.snapshot ()));
+      ("memos", List (List.map of_memo_stats (Runtime.Memo.registered_stats ()))) ]

@@ -31,3 +31,13 @@ val of_headline : Framework.headline -> t
 val design_table_json :
   ?capacities:int list -> unit -> t
 (** The full Table 4 / Figure 7 dataset as a JSON array. *)
+
+(** {1 Runtime telemetry export} *)
+
+val of_memo_stats : Runtime.Memo.stats -> t
+
+val of_telemetry : Runtime.Telemetry.snapshot -> t
+
+val runtime_stats_json : unit -> t
+(** Default-pool job count, telemetry counters/spans, and every memo
+    cache's hit/miss statistics — the CLI's [--stats --json] payload. *)

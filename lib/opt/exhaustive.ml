@@ -12,10 +12,19 @@ type result = {
   pins : Space.pins;
 }
 
+(* Earlier-candidate-wins tie break: replace only on a strictly better
+   score.  Identical to the sequential scan's [b.score <= score] guard. *)
+let better acc candidate =
+  match (acc, candidate) with
+  | None, c -> c
+  | acc, None -> acc
+  | Some a, Some c -> if c.score < a.score then Some c else Some a
+
 let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
-    ?levels ?w ~env ~capacity_bits ~method_ ~keep_all () =
+    ?levels ?pool ?w ~env ~capacity_bits ~method_ ~keep_all () =
   if not (Array_model.Geometry.is_power_of_two capacity_bits) then
     invalid_arg "Exhaustive.search: capacity must be a power of two";
+  let pool = match pool with Some p -> p | None -> Runtime.Pool.default () in
   let flavor = env.Array_model.Array_eval.cell_flavor in
   let levels =
     match levels with Some l -> l | None -> Yield.solve ~flavor ()
@@ -24,33 +33,55 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
   let vssc_values =
     if pins.Space.vssc_allowed then space.Space.vssc_values else [| 0.0 |]
   in
-  let geometries = Space.candidate_geometries ?w space ~capacity_bits in
-  if geometries = [] then invalid_arg "Exhaustive.search: empty geometry space";
-  let best = ref None in
-  let all = ref [] in
-  let evaluated = ref 0 in
-  List.iter
-    (fun geometry ->
-      Array.iter
-        (fun vssc ->
-          let assist = Space.assist_of pins ~vssc in
-          let metrics = Array_model.Array_eval.evaluate env geometry assist in
-          let score = Objective.eval objective metrics in
-          incr evaluated;
-          let candidate = { geometry; assist; metrics; score } in
-          if keep_all then all := candidate :: !all;
-          match !best with
-          | Some b when b.score <= score -> ()
-          | Some _ | None -> best := Some candidate)
-        vssc_values)
-    geometries;
-  match !best with
+  let geometries =
+    Array.of_list (Space.candidate_geometries ?w space ~capacity_bits)
+  in
+  if Array.length geometries = 0 then
+    invalid_arg "Exhaustive.search: empty geometry space";
+  let evals = Runtime.Telemetry.counter "exhaustive.search" in
+  (* One task per geometry chunk: scan the vssc axis in order, keeping
+     the first-best candidate (and, when asked, every candidate in
+     evaluation order).  The chunked results are reduced in geometry
+     order below, so the output is bit-identical to the sequential
+     geometry-major / vssc-minor scan for any job count. *)
+  let eval_geometry geometry =
+    let best = ref None in
+    let all = ref [] in
+    Array.iter
+      (fun vssc ->
+        let assist = Space.assist_of pins ~vssc in
+        let metrics = Array_model.Array_eval.evaluate env geometry assist in
+        let score = Objective.eval objective metrics in
+        let candidate = { geometry; assist; metrics; score } in
+        if keep_all then all := candidate :: !all;
+        match !best with
+        | Some b when b.score <= score -> ()
+        | Some _ | None -> best := Some candidate)
+      vssc_values;
+    Runtime.Telemetry.add evals (Array.length vssc_values);
+    (!best, List.rev !all)
+  in
+  let per_geometry =
+    Runtime.Telemetry.time "exhaustive.search" (fun () ->
+        Runtime.Pool.parmap pool eval_geometry geometries)
+  in
+  let best =
+    Array.fold_left (fun acc (b, _) -> better acc b) None per_geometry
+  in
+  let evaluated = Array.length geometries * Array.length vssc_values in
+  let all =
+    if keep_all then List.concat_map snd (Array.to_list per_geometry) else []
+  in
+  match best with
   | None -> invalid_arg "Exhaustive.search: no candidates"
-  | Some best ->
-    ({ best; evaluated = !evaluated; levels; pins }, List.rev !all)
+  | Some best -> ({ best; evaluated; levels; pins }, all)
 
-let search ?space ?objective ?levels ?w ~env ~capacity_bits ~method_ () =
-  fst (run ?space ?objective ?levels ?w ~env ~capacity_bits ~method_ ~keep_all:false ())
+let search ?space ?objective ?levels ?pool ?w ~env ~capacity_bits ~method_ () =
+  fst
+    (run ?space ?objective ?levels ?pool ?w ~env ~capacity_bits ~method_
+       ~keep_all:false ())
 
-let search_all ?space ?objective ?levels ?w ~env ~capacity_bits ~method_ () =
-  run ?space ?objective ?levels ?w ~env ~capacity_bits ~method_ ~keep_all:true ()
+let search_all ?space ?objective ?levels ?pool ?w ~env ~capacity_bits ~method_
+    () =
+  run ?space ?objective ?levels ?pool ?w ~env ~capacity_bits ~method_
+    ~keep_all:true ()

@@ -24,6 +24,7 @@ val search :
   ?space:Space.t ->
   ?objective:Objective.t ->
   ?levels:Yield.levels ->
+  ?pool:Runtime.Pool.t ->
   ?w:int ->
   env:Array_model.Array_eval.env ->
   capacity_bits:int ->
@@ -34,6 +35,10 @@ val search :
     [levels] overrides the yield-driven V_DDC / V_WL pins (default: solve
     them with {!Yield.solve}; pass Monte-Carlo-derived pins from
     {!Yield_mc} for the k-sigma constraint formulation).
+    [pool] (default {!Runtime.Pool.default}) evaluates geometry chunks
+    on worker domains; the index-ordered reduction makes the result —
+    winner, tie-breaking and all — bit-identical to the sequential scan
+    for any job count.
     @raise Invalid_argument if the capacity is not a power of two or no
     geometry candidate exists. *)
 
@@ -41,6 +46,7 @@ val search_all :
   ?space:Space.t ->
   ?objective:Objective.t ->
   ?levels:Yield.levels ->
+  ?pool:Runtime.Pool.t ->
   ?w:int ->
   env:Array_model.Array_eval.env ->
   capacity_bits:int ->

@@ -18,24 +18,26 @@ type levels = {
   hsnm_nominal : float;
 }
 
-let rsnm_cache : (Finfet.Library.flavor * float * float * int, float) Hashtbl.t =
-  Hashtbl.create 64
+let rsnm_cache :
+  (Finfet.Library.flavor * float * float * int, float) Runtime.Memo.t =
+  Runtime.Memo.create ~name:"yield.rsnm" ~capacity:1024 ()
 
 let rsnm_at ?(points = 81) ~flavor ~vddc ~vssc () =
-  let key = (flavor, vddc, vssc, points) in
-  match Hashtbl.find_opt rsnm_cache key with
-  | Some v -> v
-  | None ->
-    let cell = cell_of flavor in
-    let v =
+  Runtime.Memo.find_or_compute rsnm_cache (flavor, vddc, vssc, points)
+    (fun () ->
+      let cell = cell_of flavor in
       Sram_cell.Margins.read_snm ~points ~cell
-        (Sram_cell.Sram6t.read ~vddc ~vssc ())
-    in
-    Hashtbl.add rsnm_cache key v;
-    v
+        (Sram_cell.Sram6t.read ~vddc ~vssc ()))
 
-let solve ?(delta = Finfet.Tech.min_margin) ?(points = 81) ?corner ?celsius
-    ~flavor () =
+let solve_cache :
+  (Finfet.Library.flavor * float * int * Finfet.Corners.corner option
+   * float option,
+   levels)
+  Runtime.Memo.t =
+  Runtime.Memo.create ~name:"yield.solve" ~capacity:64 ()
+
+let solve_uncached ?(delta = Finfet.Tech.min_margin) ?(points = 81) ?corner
+    ?celsius ~flavor () =
   let cell = cell_of ?corner ?celsius flavor in
   let vdd = Finfet.Tech.vdd_nominal in
   (* RSNM grows monotonically with V_DDC (stronger pull-down feedback). *)
@@ -55,6 +57,13 @@ let solve ?(delta = Finfet.Tech.min_margin) ?(points = 81) ?corner ?celsius
   let vwl_min = max vdd (snap_up (flip +. delta)) in
   let hsnm_nominal = Sram_cell.Margins.hold_snm ~points ~cell vdd in
   { vddc_min; vwl_min; hsnm_nominal }
+
+let solve ?(delta = Finfet.Tech.min_margin) ?(points = 81) ?corner ?celsius
+    ~flavor () =
+  Runtime.Memo.find_or_compute solve_cache (flavor, delta, points, corner, celsius)
+    (fun () ->
+      Runtime.Telemetry.time "yield.solve" (fun () ->
+          solve_uncached ~delta ~points ?corner ?celsius ~flavor ()))
 
 let margins_ok ?(delta = Finfet.Tech.min_margin) ?(points = 81) ~flavor ~vddc
     ~vssc ~vwl () =

@@ -1,0 +1,116 @@
+type counter = { c_name : string; cell : int Atomic.t }
+
+type span_state = { s_name : string; mutable s_calls : int; mutable s_total : float }
+
+let lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 16
+let spans : (string, span_state) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  Mutex.lock lock;
+  let c =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+      let c = { c_name = name; cell = Atomic.make 0 } in
+      Hashtbl.add counters name c;
+      c
+  in
+  Mutex.unlock lock;
+  c
+
+let add c n = ignore (Atomic.fetch_and_add c.cell n)
+let incr c = add c 1
+let value c = Atomic.get c.cell
+
+let now () = Unix.gettimeofday ()
+
+let span_state name =
+  Mutex.lock lock;
+  let s =
+    match Hashtbl.find_opt spans name with
+    | Some s -> s
+    | None ->
+      let s = { s_name = name; s_calls = 0; s_total = 0.0 } in
+      Hashtbl.add spans name s;
+      s
+  in
+  Mutex.unlock lock;
+  s
+
+let record_span s dt =
+  Mutex.lock lock;
+  s.s_calls <- s.s_calls + 1;
+  s.s_total <- s.s_total +. dt;
+  Mutex.unlock lock
+
+let time label f =
+  let s = span_state label in
+  let t0 = now () in
+  match f () with
+  | v ->
+    record_span s (now () -. t0);
+    v
+  | exception e ->
+    record_span s (now () -. t0);
+    raise e
+
+type span = {
+  span_name : string;
+  calls : int;
+  total_s : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  spans : span list;
+}
+
+let snapshot () =
+  Mutex.lock lock;
+  let cs =
+    Hashtbl.fold (fun name c acc -> (name, Atomic.get c.cell) :: acc) counters []
+  in
+  let ss =
+    Hashtbl.fold
+      (fun _ s acc ->
+        { span_name = s.s_name; calls = s.s_calls; total_s = s.s_total } :: acc)
+      spans []
+  in
+  Mutex.unlock lock;
+  { counters = List.sort compare cs;
+    spans = List.sort (fun a b -> compare a.span_name b.span_name) ss }
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
+  Hashtbl.iter
+    (fun _ s ->
+      s.s_calls <- 0;
+      s.s_total <- 0.0)
+    spans;
+  Mutex.unlock lock
+
+let print_report ?(channel = stdout) () =
+  let snap = snapshot () in
+  if snap.counters <> [] then begin
+    Printf.fprintf channel "%-28s %12s\n" "counter" "count";
+    List.iter
+      (fun (name, n) -> Printf.fprintf channel "%-28s %12d\n" name n)
+      snap.counters
+  end;
+  if snap.spans <> [] then begin
+    Printf.fprintf channel "%-28s %8s %12s %14s\n" "span" "calls" "total"
+      "rate";
+    List.iter
+      (fun s ->
+        let rate =
+          match List.assoc_opt s.span_name snap.counters with
+          | Some n when s.total_s > 0.0 ->
+            Printf.sprintf "%.0f /s" (float_of_int n /. s.total_s)
+          | _ -> "-"
+        in
+        Printf.fprintf channel "%-28s %8d %10.3f ms %14s\n" s.span_name
+          s.calls (1e3 *. s.total_s) rate)
+      snap.spans
+  end

@@ -1,0 +1,48 @@
+(** Lightweight process-wide telemetry: named counters and timed spans.
+
+    Counters are atomic (safe to bump from pool workers); spans
+    accumulate wall-clock time per label on the calling domain.  The
+    search layers record evaluation counts and per-phase times here;
+    the CLI's [--stats] flag and the bench harness read them back as
+    text or export them through [core/json_out].
+
+    Conventions: a span and a counter may share a name (e.g.
+    ["exhaustive.search"]); the report then derives a rate
+    (counts per second of span time), which is how evals/sec is
+    published. *)
+
+type counter
+
+val counter : string -> counter
+(** Get or create the counter with this name. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val now : unit -> float
+(** Wall-clock seconds (monotonic enough for span accounting). *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time label f] runs [f], adding its wall time to span [label]
+    (exceptions still account the elapsed time). *)
+
+type span = {
+  span_name : string;
+  calls : int;
+  total_s : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  spans : span list;               (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every counter and span. *)
+
+val print_report : ?channel:out_channel -> unit -> unit
+(** Text dump of the snapshot: counters, spans, and derived rates for
+    span/counter name pairs. *)

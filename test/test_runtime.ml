@@ -1,0 +1,256 @@
+(* Tests of the lib/runtime subsystem: domain-pool determinism (parallel
+   results bit-identical to sequential, including candidate order), the
+   bounded LRU memo's eviction and accounting, telemetry, and a QCheck
+   property that [Pool.parmap] matches [List.map] for arbitrary chunk
+   sizes and job counts. *)
+
+open Testutil
+
+(* Shared pools so the suite spawns a handful of domains total instead
+   of churning one pool per case. *)
+let pool_of =
+  let pools = Hashtbl.create 4 in
+  fun jobs ->
+    match Hashtbl.find_opt pools jobs with
+    | Some p -> p
+    | None ->
+      let p = Runtime.Pool.create ~jobs () in
+      Hashtbl.add pools jobs p;
+      p
+
+(* ----- Pool ----- *)
+
+let pool_tests =
+  [ case "parmap matches Array.map" (fun () ->
+        let arr = Array.init 103 (fun i -> i) in
+        let f x = (x * x) + 1 in
+        let expected = Array.map f arr in
+        List.iter
+          (fun jobs ->
+            Alcotest.(check (array int))
+              (Printf.sprintf "jobs=%d" jobs)
+              expected
+              (Runtime.Pool.parmap (pool_of jobs) f arr))
+          [ 1; 2; 3; 4 ]);
+    case "parmap handles empty and singleton inputs" (fun () ->
+        let p = pool_of 3 in
+        Alcotest.(check (array int)) "empty" [||]
+          (Runtime.Pool.parmap p (fun x -> x) [||]);
+        Alcotest.(check (array int)) "singleton" [| 42 |]
+          (Runtime.Pool.parmap p (fun x -> x + 41) [| 1 |]));
+    case "fold reduces in index order (non-associative reduce)" (fun () ->
+        let arr = Array.init 37 string_of_int in
+        let expected = Array.fold_left ( ^ ) "" arr in
+        List.iter
+          (fun jobs ->
+            List.iter
+              (fun chunk ->
+                Alcotest.(check string)
+                  (Printf.sprintf "jobs=%d chunk=%d" jobs chunk)
+                  expected
+                  (Runtime.Pool.fold ~chunk (pool_of jobs)
+                     ~map:(fun s -> s)
+                     ~reduce:( ^ ) ~init:"" arr))
+              [ 1; 2; 5; 64 ])
+          [ 1; 3 ]);
+    case "map_list preserves order" (fun () ->
+        let l = List.init 19 (fun i -> i) in
+        Alcotest.(check (list int))
+          "order" (List.map succ l)
+          (Runtime.Pool.map_list (pool_of 4) succ l));
+    case "exceptions propagate to the caller" (fun () ->
+        let p = pool_of 3 in
+        Alcotest.check_raises "raises" (Failure "boom") (fun () ->
+            ignore
+              (Runtime.Pool.parmap ~chunk:1 p
+                 (fun i -> if i = 5 then failwith "boom" else i)
+                 (Array.init 16 (fun i -> i)))));
+    case "shutdown degrades to inline execution" (fun () ->
+        let p = Runtime.Pool.create ~jobs:3 () in
+        Runtime.Pool.shutdown p;
+        Alcotest.(check int) "jobs" 1 (Runtime.Pool.jobs p);
+        Alcotest.(check (array int)) "still works" [| 2; 3; 4 |]
+          (Runtime.Pool.parmap p succ [| 1; 2; 3 |]);
+        Runtime.Pool.shutdown p (* idempotent *)) ]
+
+(* ----- Memo ----- *)
+
+let memo_tests =
+  [ case "LRU eviction keeps the cache within capacity" (fun () ->
+        let m = Runtime.Memo.create ~name:"test.lru" ~capacity:3 () in
+        List.iter (fun k -> Runtime.Memo.add m k (10 * k)) [ 1; 2; 3; 4; 5 ];
+        Alcotest.(check int) "length" 3 (Runtime.Memo.length m);
+        let s = Runtime.Memo.stats m in
+        Alcotest.(check int) "evictions" 2 s.Runtime.Memo.evictions;
+        (* 1 and 2 were least recently used; 3..5 survive. *)
+        Alcotest.(check (option int)) "evicted" None (Runtime.Memo.find_opt m 1);
+        Alcotest.(check (option int)) "evicted" None (Runtime.Memo.find_opt m 2);
+        Alcotest.(check (option int)) "kept" (Some 30) (Runtime.Memo.find_opt m 3);
+        Alcotest.(check (option int)) "kept" (Some 50) (Runtime.Memo.find_opt m 5));
+    case "recency refresh protects hot entries" (fun () ->
+        let m = Runtime.Memo.create ~name:"test.recency" ~capacity:2 () in
+        Runtime.Memo.add m "a" 1;
+        Runtime.Memo.add m "b" 2;
+        ignore (Runtime.Memo.find_opt m "a");
+        (* "b" is now least recent *)
+        Runtime.Memo.add m "c" 3;
+        Alcotest.(check (option int)) "a kept" (Some 1)
+          (Runtime.Memo.find_opt m "a");
+        Alcotest.(check (option int)) "b evicted" None
+          (Runtime.Memo.find_opt m "b"));
+    case "hit/miss accounting" (fun () ->
+        let m = Runtime.Memo.create ~name:"test.stats" ~capacity:4 () in
+        let calls = ref 0 in
+        let compute k () =
+          incr calls;
+          k * k
+        in
+        Alcotest.(check int) "first" 49 (Runtime.Memo.find_or_compute m 7 (compute 7));
+        Alcotest.(check int) "second" 49 (Runtime.Memo.find_or_compute m 7 (compute 7));
+        Alcotest.(check int) "computed once" 1 !calls;
+        let s = Runtime.Memo.stats m in
+        Alcotest.(check int) "hits" 1 s.Runtime.Memo.hits;
+        Alcotest.(check int) "misses" 1 s.Runtime.Memo.misses;
+        check_close "hit rate" 0.5 (Runtime.Memo.hit_rate s));
+    case "evicted keys are recomputed" (fun () ->
+        let m = Runtime.Memo.create ~name:"test.recompute" ~capacity:1 () in
+        let calls = ref 0 in
+        let get k =
+          Runtime.Memo.find_or_compute m k (fun () ->
+              incr calls;
+              k)
+        in
+        ignore (get 1);
+        ignore (get 2);
+        (* evicts 1 *)
+        ignore (get 1);
+        Alcotest.(check int) "recomputed" 3 !calls);
+    case "reset zeroes statistics, clear keeps them" (fun () ->
+        let m = Runtime.Memo.create ~name:"test.reset" ~capacity:2 () in
+        ignore (Runtime.Memo.find_or_compute m 1 (fun () -> 1));
+        Runtime.Memo.clear m;
+        Alcotest.(check int) "cleared" 0 (Runtime.Memo.length m);
+        Alcotest.(check int) "stats kept" 1
+          (Runtime.Memo.stats m).Runtime.Memo.misses;
+        Runtime.Memo.reset m;
+        Alcotest.(check int) "stats zeroed" 0
+          (Runtime.Memo.stats m).Runtime.Memo.misses);
+    case "registry exposes every memo" (fun () ->
+        let before = List.length (Runtime.Memo.registered_stats ()) in
+        let _m = Runtime.Memo.create ~name:"test.registry" ~capacity:1 () in
+        let after = Runtime.Memo.registered_stats () in
+        Alcotest.(check int) "registered" (before + 1) (List.length after);
+        Alcotest.(check bool) "named" true
+          (List.exists
+             (fun (s : Runtime.Memo.stats) -> s.Runtime.Memo.name = "test.registry")
+             after)) ]
+
+(* ----- Telemetry ----- *)
+
+let telemetry_tests =
+  [ case "counters accumulate" (fun () ->
+        let c = Runtime.Telemetry.counter "test.counter" in
+        let base = Runtime.Telemetry.value c in
+        Runtime.Telemetry.incr c;
+        Runtime.Telemetry.add c 4;
+        Alcotest.(check int) "value" (base + 5) (Runtime.Telemetry.value c));
+    case "spans record calls and time" (fun () ->
+        let before =
+          List.filter
+            (fun (s : Runtime.Telemetry.span) ->
+              s.Runtime.Telemetry.span_name = "test.span")
+            (Runtime.Telemetry.snapshot ()).Runtime.Telemetry.spans
+        in
+        let calls_before =
+          match before with [ s ] -> s.Runtime.Telemetry.calls | _ -> 0
+        in
+        let v = Runtime.Telemetry.time "test.span" (fun () -> 17) in
+        Alcotest.(check int) "passes value through" 17 v;
+        let after =
+          List.find
+            (fun (s : Runtime.Telemetry.span) ->
+              s.Runtime.Telemetry.span_name = "test.span")
+            (Runtime.Telemetry.snapshot ()).Runtime.Telemetry.spans
+        in
+        Alcotest.(check int) "calls" (calls_before + 1)
+          after.Runtime.Telemetry.calls;
+        Alcotest.(check bool) "time accumulates" true
+          (after.Runtime.Telemetry.total_s >= 0.0)) ]
+
+(* ----- parallel search determinism ----- *)
+
+let candidate_equal (a : Opt.Exhaustive.candidate) (b : Opt.Exhaustive.candidate) =
+  a.Opt.Exhaustive.geometry = b.Opt.Exhaustive.geometry
+  && a.Opt.Exhaustive.assist = b.Opt.Exhaustive.assist
+  && a.Opt.Exhaustive.score = b.Opt.Exhaustive.score
+
+let search_determinism_tests =
+  let env = Array_model.Array_eval.make_env ~cell_flavor:Finfet.Library.Hvt () in
+  let check_capacity capacity_bits method_ =
+    let run pool =
+      Opt.Exhaustive.search_all ~space:Opt.Space.reduced ~pool ~env
+        ~capacity_bits ~method_ ()
+    in
+    let seq_result, seq_all = run (pool_of 1) in
+    let par_result, par_all = run (pool_of 3) in
+    let label = Printf.sprintf "%db %s" capacity_bits (Opt.Space.method_name method_) in
+    Alcotest.(check int)
+      (label ^ ": evaluated") seq_result.Opt.Exhaustive.evaluated
+      par_result.Opt.Exhaustive.evaluated;
+    Alcotest.(check bool)
+      (label ^ ": best is bit-identical") true
+      (candidate_equal seq_result.Opt.Exhaustive.best
+         par_result.Opt.Exhaustive.best);
+    Alcotest.(check int)
+      (label ^ ": candidate count") (List.length seq_all) (List.length par_all);
+    Alcotest.(check bool)
+      (label ^ ": candidate order") true
+      (List.for_all2 candidate_equal seq_all par_all)
+  in
+  [ case "parallel search_all equals sequential (128B, both methods)" (fun () ->
+        check_capacity (128 * 8) Opt.Space.M1;
+        check_capacity (128 * 8) Opt.Space.M2);
+    case "parallel search_all equals sequential (256B, both methods)" (fun () ->
+        check_capacity (256 * 8) Opt.Space.M1;
+        check_capacity (256 * 8) Opt.Space.M2) ]
+
+let yield_mc_determinism_tests =
+  [ case "chunked MC pins are independent of the job count" (fun () ->
+        let config =
+          { Opt.Yield_mc.default_config with Opt.Yield_mc.samples = 10; points = 21 }
+        in
+        let solve pool = Opt.Yield_mc.solve ~config ~pool ~flavor:Finfet.Library.Hvt () in
+        let s1 = solve (pool_of 1) in
+        let s3 = solve (pool_of 3) in
+        check_close "vddc_min" s1.Opt.Yield_mc.vddc_min s3.Opt.Yield_mc.vddc_min;
+        check_close "vwl_min" s1.Opt.Yield_mc.vwl_min s3.Opt.Yield_mc.vwl_min;
+        check_close "achieved" s1.Opt.Yield_mc.achieved_margin
+          s3.Opt.Yield_mc.achieved_margin) ]
+
+(* ----- QCheck: parmap equals List.map ----- *)
+
+let to_alco = QCheck_alcotest.to_alcotest
+
+let prop_parmap_matches_map =
+  QCheck.Test.make ~name:"Pool.parmap f = List.map f for any chunk/jobs"
+    ~count:60
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 0 60) (int_range (-1000) 1000))
+        (int_range 1 8) (int_range 1 4))
+    (fun (l, chunk, jobs) ->
+      let f x = (3 * x) - 7 in
+      let arr = Array.of_list l in
+      let got = Runtime.Pool.parmap ~chunk (pool_of jobs) f arr in
+      Array.to_list got = List.map f l)
+
+let property_tests = [ to_alco prop_parmap_matches_map ]
+
+let () =
+  Alcotest.run "runtime"
+    [ ("pool", pool_tests);
+      ("memo", memo_tests);
+      ("telemetry", telemetry_tests);
+      ("search_determinism", search_determinism_tests);
+      ("yield_mc_determinism", yield_mc_determinism_tests);
+      ("parmap_property", property_tests) ]
