@@ -1,8 +1,10 @@
 # Tier-1 verification: everything CI gates on.
-#   make check   build + unit/property tests + an end-to-end smoke run
-#   make bench   runtime scaling benchmark (writes BENCH_runtime.json)
+#   make check        build + unit/property tests + end-to-end smoke runs
+#   make bench        runtime scaling benchmark (writes BENCH_runtime.json)
+#   make bench-kernel staged-kernel benchmark (writes BENCH_kernel.json)
+#   make bench-smoke  staged-kernel benchmark, reduced space, no JSON
 
-.PHONY: all check test bench clean
+.PHONY: all check test bench bench-kernel bench-smoke clean
 
 all:
 	dune build
@@ -11,12 +13,19 @@ check:
 	dune build
 	dune runtest
 	dune exec bench/main.exe -- headline --smoke
+	dune exec bench/main.exe -- kernel --smoke
 
 test:
 	dune runtest
 
 bench:
 	dune exec bench/main.exe -- runtime
+
+bench-kernel:
+	dune exec bench/main.exe -- kernel
+
+bench-smoke:
+	dune exec bench/main.exe -- kernel --smoke
 
 clean:
 	dune clean

@@ -12,6 +12,10 @@
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '#')
 
+(* --smoke shrinks experiments to the reduced space at one capacity — a
+   seconds-long end-to-end liveness check for `make check`. *)
+let smoke = ref false
+
 (* ----- ablations (DESIGN.md section 5) ----- *)
 
 let ablation_accounting () =
@@ -690,6 +694,19 @@ let timing () =
     (List.sort compare !rows);
   Sram_edp.Report.print table
 
+(* ----- provenance ----- *)
+
+(* Stamp bench JSON with the commit it measured, so successive
+   BENCH_*.json files form a comparable trajectory. *)
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
 (* ----- runtime scaling benchmark ----- *)
 
 (* Cold Table 4 sweeps at 1 / 2 / 4 jobs: wall time, evaluation rate and
@@ -710,6 +727,11 @@ let runtime_bench () =
           Sram_edp.Framework.sweep_capacities ~pool ~capacities ~configs ()
         in
         let wall = Runtime.Telemetry.now () -. t0 in
+        (* The identical sweep again: every design must come out of the
+           framework.optimize memo. *)
+        let t1 = Runtime.Telemetry.now () in
+        ignore (Sram_edp.Framework.sweep_capacities ~pool ~capacities ~configs ());
+        let warm_wall = Runtime.Telemetry.now () -. t1 in
         Runtime.Pool.shutdown pool;
         let evals =
           Runtime.Telemetry.value (Runtime.Telemetry.counter "exhaustive.search")
@@ -720,30 +742,33 @@ let runtime_bench () =
               s.Runtime.Memo.hits + s.Runtime.Memo.misses > 0)
             (Runtime.Memo.registered_stats ())
         in
-        (jobs, wall, List.length designs, evals, memos))
+        (jobs, wall, warm_wall, List.length designs, evals, memos))
       [ 1; 2; 4 ]
   in
   let wall_1j =
-    match runs with (_, w, _, _, _) :: _ -> w | [] -> nan
+    match runs with (_, w, _, _, _, _) :: _ -> w | [] -> nan
   in
   let table =
     Sram_edp.Report.create
-      ~columns:[ "jobs"; "wall time"; "speedup"; "designs"; "evals"; "evals/s" ]
+      ~columns:
+        [ "jobs"; "wall time"; "speedup"; "warm rerun"; "designs"; "evals";
+          "evals/s" ]
   in
   List.iter
-    (fun (jobs, wall, designs, evals, _) ->
+    (fun (jobs, wall, warm_wall, designs, evals, _) ->
       Sram_edp.Report.add_row table
         [ string_of_int jobs;
           Printf.sprintf "%.2f s" wall;
           Printf.sprintf "%.2fx" (wall_1j /. wall);
+          Printf.sprintf "%.4f s" warm_wall;
           string_of_int designs;
           string_of_int evals;
           Printf.sprintf "%.0f" (float_of_int evals /. wall) ])
     runs;
   Sram_edp.Report.print table;
   (match runs with
-   | (_, _, _, _, memos) :: _ ->
-     print_endline "memo hit rates after one cold sweep:";
+   | (_, _, _, _, _, memos) :: _ ->
+     print_endline "memo hit rates after cold + warm sweeps:";
      List.iter
        (fun (s : Runtime.Memo.stats) ->
          Printf.printf "  %-24s %6.1f%% (%d hits / %d misses)\n"
@@ -755,6 +780,7 @@ let runtime_bench () =
   let json =
     Sram_edp.Json_out.Obj
       [ ("benchmark", Sram_edp.Json_out.String "table4-sweep");
+        ("git_commit", Sram_edp.Json_out.String (git_commit ()));
         ("host_cores", Sram_edp.Json_out.Int (Domain.recommended_domain_count ()));
         ("capacities_bits",
          Sram_edp.Json_out.List
@@ -762,11 +788,12 @@ let runtime_bench () =
         ("runs",
          Sram_edp.Json_out.List
            (List.map
-              (fun (jobs, wall, designs, evals, memos) ->
+              (fun (jobs, wall, warm_wall, designs, evals, memos) ->
                 Sram_edp.Json_out.Obj
                   [ ("jobs", Sram_edp.Json_out.Int jobs);
                     ("wall_s", Sram_edp.Json_out.Float wall);
                     ("speedup", Sram_edp.Json_out.Float (wall_1j /. wall));
+                    ("warm_wall_s", Sram_edp.Json_out.Float warm_wall);
                     ("designs", Sram_edp.Json_out.Int designs);
                     ("evaluations", Sram_edp.Json_out.Int evals);
                     ("memos",
@@ -780,11 +807,162 @@ let runtime_bench () =
   close_out oc;
   print_endline "wrote BENCH_runtime.json"
 
-(* ----- dispatch ----- *)
+(* ----- staged-kernel benchmark ----- *)
 
-(* --smoke shrinks the headline experiment to the reduced space at one
-   capacity — a seconds-long end-to-end liveness check for `make check`. *)
-let smoke = ref false
+(* FNV-1a over the fields that define a chosen design: if two sweeps pick
+   the same designs bit-for-bit, their checksums match. *)
+let checksum_designs (results : Opt.Exhaustive.result list) =
+  let h = ref 0xcbf29ce484222325L in
+  let mix i64 = h := Int64.mul (Int64.logxor !h i64) 0x100000001b3L in
+  List.iter
+    (fun (r : Opt.Exhaustive.result) ->
+      let b = r.Opt.Exhaustive.best in
+      let g = b.Opt.Exhaustive.geometry in
+      mix (Int64.of_int g.Array_model.Geometry.nr);
+      mix (Int64.of_int g.Array_model.Geometry.nc);
+      mix (Int64.of_int g.Array_model.Geometry.n_pre);
+      mix (Int64.of_int g.Array_model.Geometry.n_wr);
+      mix
+        (Int64.bits_of_float
+           b.Opt.Exhaustive.assist.Array_model.Components.vssc);
+      mix (Int64.bits_of_float b.Opt.Exhaustive.score);
+      mix
+        (Int64.bits_of_float b.Opt.Exhaustive.metrics.Array_model.Array_eval.edp))
+    results;
+  Printf.sprintf "%016Lx" !h
+
+(* The Table 4 sweep through both evaluation kernels at 1/2/4 jobs:
+   staged-vs-reference wall clock, evaluations skipped by the admissible
+   bound, and a bit-identity checksum of the chosen designs.  Bypasses
+   the framework memo on purpose — every run prices the full search. *)
+let kernel_bench () =
+  section "Kernel: staged evaluation + bound pruning vs reference path";
+  let space = if !smoke then Opt.Space.reduced else Opt.Space.default in
+  let capacities =
+    if !smoke then [ 1024 * 8 ] else Sram_edp.Framework.paper_capacities
+  in
+  let configs = Sram_edp.Framework.all_configs in
+  (* Environments and yield pins are shared setup, hoisted out of the
+     timed region for both kernels alike. *)
+  let env_of =
+    let lvt = Array_model.Array_eval.make_env ~cell_flavor:Finfet.Library.Lvt () in
+    let hvt = Array_model.Array_eval.make_env ~cell_flavor:Finfet.Library.Hvt () in
+    function Finfet.Library.Lvt -> lvt | Finfet.Library.Hvt -> hvt
+  in
+  let levels_of =
+    let lvt = Opt.Yield.solve ~flavor:Finfet.Library.Lvt () in
+    let hvt = Opt.Yield.solve ~flavor:Finfet.Library.Hvt () in
+    function Finfet.Library.Lvt -> lvt | Finfet.Library.Hvt -> hvt
+  in
+  let sweep ~pool ~kernel =
+    List.concat_map
+      (fun capacity_bits ->
+        List.map
+          (fun (c : Sram_edp.Framework.config) ->
+            Opt.Exhaustive.search ~space ~kernel ~pool
+              ~levels:(levels_of c.Sram_edp.Framework.flavor)
+              ~env:(env_of c.Sram_edp.Framework.flavor) ~capacity_bits
+              ~method_:c.Sram_edp.Framework.method_ ())
+          configs)
+      capacities
+  in
+  let run jobs kernel =
+    Runtime.Memo.reset_all ();
+    let pool = Runtime.Pool.create ~jobs () in
+    let t0 = Runtime.Telemetry.now () in
+    let results = sweep ~pool ~kernel in
+    let wall = Runtime.Telemetry.now () -. t0 in
+    Runtime.Pool.shutdown pool;
+    (results, wall)
+  in
+  let sum f l = List.fold_left (fun acc r -> acc + f r) 0 l in
+  let rows =
+    List.map
+      (fun jobs ->
+        let ref_res, ref_wall = run jobs `Reference in
+        let stg_res, stg_wall = run jobs `Staged in
+        let ref_evals = sum (fun r -> r.Opt.Exhaustive.evaluated) ref_res in
+        let stg_evals = sum (fun r -> r.Opt.Exhaustive.evaluated) stg_res in
+        let pruned = sum (fun r -> r.Opt.Exhaustive.pruned) stg_res in
+        let skipped = ref_evals - stg_evals in
+        let ref_sum = checksum_designs ref_res in
+        let stg_sum = checksum_designs stg_res in
+        (jobs, ref_wall, stg_wall, ref_evals, stg_evals, pruned, skipped,
+         ref_sum, stg_sum))
+      [ 1; 2; 4 ]
+  in
+  let table =
+    Sram_edp.Report.create
+      ~columns:
+        [ "jobs"; "reference"; "staged"; "speedup"; "evals"; "skipped";
+          "prune rate"; "bit-identical" ]
+  in
+  List.iter
+    (fun (jobs, ref_wall, stg_wall, ref_evals, stg_evals, _, skipped, rs, ss) ->
+      Sram_edp.Report.add_row table
+        [ string_of_int jobs;
+          Printf.sprintf "%.2f s" ref_wall;
+          Printf.sprintf "%.2f s" stg_wall;
+          Printf.sprintf "%.2fx" (ref_wall /. stg_wall);
+          string_of_int stg_evals;
+          string_of_int skipped;
+          Sram_edp.Units.percent
+            (float_of_int skipped /. float_of_int ref_evals);
+          (if rs = ss then "yes" else "NO") ])
+    rows;
+  Sram_edp.Report.print table;
+  let checksums =
+    List.concat_map (fun (_, _, _, _, _, _, _, rs, ss) -> [ rs; ss ]) rows
+  in
+  let all_identical =
+    match checksums with
+    | [] -> true
+    | first :: rest -> List.for_all (String.equal first) rest
+  in
+  Printf.printf "chosen designs identical across kernels and job counts: %s\n"
+    (if all_identical then "yes" else "NO");
+  if not !smoke then begin
+    let json =
+      Sram_edp.Json_out.Obj
+        [ ("benchmark", Sram_edp.Json_out.String "staged-kernel");
+          ("git_commit", Sram_edp.Json_out.String (git_commit ()));
+          ("host_cores",
+           Sram_edp.Json_out.Int (Domain.recommended_domain_count ()));
+          ("capacities_bits",
+           Sram_edp.Json_out.List
+             (List.map (fun c -> Sram_edp.Json_out.Int c) capacities));
+          ("bit_identical", Sram_edp.Json_out.Bool all_identical);
+          ("runs",
+           Sram_edp.Json_out.List
+             (List.map
+                (fun (jobs, ref_wall, stg_wall, ref_evals, stg_evals, pruned,
+                      skipped, rs, ss) ->
+                  Sram_edp.Json_out.Obj
+                    [ ("jobs", Sram_edp.Json_out.Int jobs);
+                      ("reference_wall_s", Sram_edp.Json_out.Float ref_wall);
+                      ("staged_wall_s", Sram_edp.Json_out.Float stg_wall);
+                      ("speedup",
+                       Sram_edp.Json_out.Float (ref_wall /. stg_wall));
+                      ("reference_evaluations",
+                       Sram_edp.Json_out.Int ref_evals);
+                      ("staged_evaluations", Sram_edp.Json_out.Int stg_evals);
+                      ("pruned_scans", Sram_edp.Json_out.Int pruned);
+                      ("evals_skipped", Sram_edp.Json_out.Int skipped);
+                      ("prune_rate",
+                       Sram_edp.Json_out.Float
+                         (float_of_int skipped /. float_of_int ref_evals));
+                      ("checksum_reference", Sram_edp.Json_out.String rs);
+                      ("checksum_staged", Sram_edp.Json_out.String ss) ])
+                rows)) ]
+    in
+    let oc = open_out "BENCH_kernel.json" in
+    output_string oc (Sram_edp.Json_out.to_string_pretty json);
+    output_char oc '\n';
+    close_out oc;
+    print_endline "wrote BENCH_kernel.json"
+  end
+
+(* ----- dispatch ----- *)
 
 let headline_smoke () =
   section "Headline (smoke: reduced space, 1KB, M2 HVT vs LVT)";
@@ -811,6 +989,7 @@ let run_one = function
   | "ablation" -> ablations ()
   | "timing" -> timing ()
   | "runtime" -> runtime_bench ()
+  | "kernel" -> kernel_bench ()
   | "all" ->
     Sram_edp.Experiments.run_all ();
     ablations ();
@@ -818,7 +997,7 @@ let run_one = function
   | other ->
     Printf.eprintf
       "unknown experiment %S (try fig2a..fig7d, table4, headline, ablation, \
-       timing, runtime, all)\n"
+       timing, runtime, kernel, all)\n"
       other;
     exit 1
 

@@ -144,3 +144,295 @@ let evaluate env (g : Geometry.t) (a : Components.assist) =
     d_col_path }
 
 let edp env g a = (evaluate env g a).edp
+
+(* ----- staged evaluation kernel -----
+
+   [evaluate] recomputes, for every (geometry, assist) pair, work that
+   depends on only one of the two coordinates: wire capacitances, decoder
+   characterization and the assist-blind Table 2 components depend only
+   on the geometry, while the assist-rail drive currents and the write
+   cell delay depend only on the assist.  The kernel hoists both sides:
+   [stage] captures everything geometry-determined, [prepare] everything
+   assist-determined, and [complete] finishes the cross terms — a few
+   dozen float operations, no table lookups, no memo locks.
+
+   Bit-identity with [evaluate] is by construction: every hoisted leaf is
+   produced by the same expression (often the same function) as the
+   reference path, and [complete] re-runs the combining arithmetic in the
+   reference path's exact association order. *)
+
+let stage_counter = Runtime.Telemetry.counter "array_eval.stage"
+
+type staged = {
+  st_env : env;
+  st_geometry : Geometry.t;
+  (* Equation (1) C operands that depend on the geometry *)
+  c_cvdd : float;
+  c_cvss : float;
+  c_wl : float;
+  c_bl : float;
+  (* assist-blind components, fully priced *)
+  st_wl_rd : Components.de;
+  st_col : Components.de;
+  st_bl_wr : Components.de;
+  st_pre_rd : Components.de;
+  st_pre_wr : Components.de;
+  st_row_dec : Gates.Decoder.result;
+  st_col_dec : Gates.Decoder.result;
+  (* pre-folded delay/energy prefixes (reference association order) *)
+  d_row_prefix : float;      (* row_dec + driver *)
+  st_d_row_path_read : float;
+  st_d_col_path : float;
+  e_rowdrv : float;          (* row_dec.energy + driver_energy *)
+  e_rd_prefix : float;       (* e_rowdrv + wl_rd.energy *)
+  (* Physical-accounting geometry terms *)
+  nc_f : float;
+  w_f : float;
+  n_unselected : float;
+  disturb : float;
+  w_sense_energy : float;    (* w * sense_energy *)
+  w_write_term : float;      (* w * (bl_wr.e + write_cell_e + pre_wr.e) *)
+  disturb_term : float;      (* n_unselected * disturb *)
+  (* leakage slope: M * P_leak,cell *)
+  mp_leak : float;
+}
+
+let stage env (g : Geometry.t) =
+  Runtime.Telemetry.incr stage_counter;
+  let d = env.dcaps and cur = env.currents and per = env.periphery in
+  (* These components ignore the assist argument. *)
+  let a0 = Components.no_assist in
+  let wl_rd = Components.wl_read d cur g a0 in
+  let col = Components.col d cur g a0 in
+  let bl_wr = Components.bl_write d cur g a0 in
+  let pre_rd = Components.precharge_read d cur g a0 in
+  let pre_wr = Components.precharge_write d cur g a0 in
+  let row_dec = Periphery.row_dec per ~bits:(Geometry.row_address_bits g) in
+  let col_dec = Periphery.col_dec per ~bits:(Geometry.column_address_bits g) in
+  let d_row_prefix = row_dec.Gates.Decoder.delay +. per.Periphery.driver_delay in
+  let d_col_path =
+    if Geometry.has_column_mux g then
+      col_dec.Gates.Decoder.delay +. per.Periphery.driver_delay
+      +. col.Components.delay
+    else 0.0
+  in
+  let nc = float_of_int g.Geometry.nc in
+  let w = float_of_int (min g.Geometry.w g.Geometry.nc) in
+  let n_unselected = max 0.0 (nc -. w) in
+  let c_bl = Caps.bl d g in
+  let disturb = 2.0 *. c_bl *. vdd *. Finfet.Tech.delta_v_sense in
+  let e_rowdrv = row_dec.Gates.Decoder.energy +. per.Periphery.driver_energy in
+  { st_env = env;
+    st_geometry = g;
+    c_cvdd = Caps.cvdd d g;
+    c_cvss = Caps.cvss d g;
+    c_wl = Caps.wl d g;
+    c_bl;
+    st_wl_rd = wl_rd;
+    st_col = col;
+    st_bl_wr = bl_wr;
+    st_pre_rd = pre_rd;
+    st_pre_wr = pre_wr;
+    st_row_dec = row_dec;
+    st_col_dec = col_dec;
+    d_row_prefix;
+    st_d_row_path_read = d_row_prefix +. wl_rd.Components.delay;
+    st_d_col_path = d_col_path;
+    e_rowdrv;
+    e_rd_prefix = e_rowdrv +. wl_rd.Components.energy;
+    nc_f = nc;
+    w_f = w;
+    n_unselected;
+    disturb;
+    w_sense_energy = w *. per.Periphery.sense_energy;
+    w_write_term =
+      w
+      *. (bl_wr.Components.energy +. per.Periphery.write_cell_energy
+          +. pre_wr.Components.energy);
+    disturb_term = n_unselected *. disturb;
+    mp_leak =
+      float_of_int (Geometry.capacity_bits g) *. per.Periphery.p_leak_cell }
+
+type prepared = {
+  p_assist : Components.assist;
+  dv_cvdd : float;
+  i_cvdd : float;
+  dv_cvss : float;
+  i_cvss : float;
+  dv_wl_wr : float;
+  i_wl_wr : float;
+  v_bl_rd : float;
+  i_bl_rd : float;
+  p_d_write_cell : float;
+  wl_boosted : bool;
+}
+
+let prepare env (a : Components.assist) =
+  let cur = env.currents and per = env.periphery in
+  { p_assist = a;
+    dv_cvdd = a.Components.vddc -. vdd;
+    i_cvdd = Currents.cvdd_driver cur ~vddc:a.Components.vddc;
+    dv_cvss = abs_float a.Components.vssc;
+    i_cvss = Currents.cvss_driver cur ~vssc:a.Components.vssc;
+    dv_wl_wr = a.Components.vwl;
+    i_wl_wr = Currents.wl_write cur ~vwl:a.Components.vwl;
+    v_bl_rd = a.Components.vddc -. a.Components.vssc;
+    i_bl_rd =
+      Currents.read_current cur ~vddc:a.Components.vddc ~vssc:a.Components.vssc;
+    p_d_write_cell = Periphery.write_delay per ~vwl:a.Components.vwl;
+    wl_boosted = a.Components.vwl > vdd }
+
+(* The shared completion: prices the four assist-dependent components from
+   hoisted operands and re-runs the Table 3 / Equations (2)-(5) arithmetic
+   in [evaluate]'s association order.  [e_wl_scale] abstracts the one
+   conditional that differs between an actual assist (vwl > vdd) and the
+   lower envelope (all enveloped assists boosted). *)
+let complete_parts st ~dv_cvdd ~i_cvdd ~dv_cvss ~i_cvss ~dv_wl_wr ~i_wl_wr
+    ~v_bl_rd ~i_bl_rd ~d_write_cell ~wl_boosted =
+  let env = st.st_env in
+  let per = env.periphery in
+  let cvdd = Components.equation1 ~c:st.c_cvdd ~v:vdd ~dv:dv_cvdd ~i:i_cvdd in
+  let cvss = Components.equation1 ~c:st.c_cvss ~v:vdd ~dv:dv_cvss ~i:i_cvss in
+  let wl_wr = Components.equation1 ~c:st.c_wl ~v:vdd ~dv:dv_wl_wr ~i:i_wl_wr in
+  let bl_rd =
+    Components.equation1 ~c:st.c_bl ~v:v_bl_rd ~dv:Finfet.Tech.delta_v_sense
+      ~i:i_bl_rd
+  in
+  (* --- Table 3: delays --- *)
+  let d_row_path_read = st.st_d_row_path_read in
+  let d_col_path = st.st_d_col_path in
+  let d_read =
+    max (d_row_path_read +. bl_rd.Components.delay) d_col_path
+    +. per.Periphery.sense_delay +. st.st_pre_rd.Components.delay
+  in
+  let d_row_path_write = st.d_row_prefix +. wl_wr.Components.delay in
+  let d_write =
+    max d_row_path_write (d_col_path +. st.st_bl_wr.Components.delay)
+    +. d_write_cell +. st.st_pre_wr.Components.delay
+  in
+  let d_array = max d_read d_write in
+  (* --- Table 3: switching energies --- *)
+  let assist_scaled e = env.dcdc_overhead *. e in
+  let e_cvdd = assist_scaled cvdd.Components.energy in
+  let e_cvss = assist_scaled cvss.Components.energy in
+  let e_wl_wr =
+    if wl_boosted then assist_scaled wl_wr.Components.energy
+    else wl_wr.Components.energy
+  in
+  let e_read, e_write =
+    match env.accounting with
+    | Paper_strict ->
+      let e_read =
+        st.e_rd_prefix +. bl_rd.Components.energy
+        +. st.st_col_dec.Gates.Decoder.energy +. per.Periphery.driver_energy
+        +. st.st_col.Components.energy +. per.Periphery.sense_energy
+        +. st.st_pre_rd.Components.energy +. e_cvdd +. e_cvss
+      in
+      let e_write =
+        st.e_rowdrv +. wl_wr.Components.energy
+        +. st.st_col_dec.Gates.Decoder.energy +. per.Periphery.driver_energy
+        +. st.st_col.Components.energy +. st.st_bl_wr.Components.energy
+        +. per.Periphery.write_cell_energy +. st.st_pre_wr.Components.energy
+      in
+      (e_read, e_write)
+    | Physical ->
+      let e_read =
+        st.e_rd_prefix
+        +. (st.nc_f
+            *. (bl_rd.Components.energy +. st.st_pre_rd.Components.energy))
+        +. st.st_col_dec.Gates.Decoder.energy +. per.Periphery.driver_energy
+        +. st.st_col.Components.energy +. st.w_sense_energy +. e_cvdd
+        +. e_cvss
+      in
+      let e_write =
+        st.e_rowdrv +. e_wl_wr +. st.st_col_dec.Gates.Decoder.energy
+        +. per.Periphery.driver_energy +. st.st_col.Components.energy
+        +. st.w_write_term +. st.disturb_term
+      in
+      (e_read, e_write)
+  in
+  (* --- Equations (2)-(5) --- *)
+  let e_switching = (env.beta *. e_read) +. ((1.0 -. env.beta) *. e_write) in
+  let e_leakage = st.mp_leak *. d_array in
+  let e_total = (env.alpha *. e_switching) +. e_leakage in
+  { d_read; d_write; d_array;
+    e_read; e_write; e_switching; e_leakage; e_total;
+    edp = e_total *. d_array;
+    d_bl_read = bl_rd.Components.delay;
+    d_row_path_read;
+    d_col_path }
+
+let complete st (p : prepared) =
+  complete_parts st ~dv_cvdd:p.dv_cvdd ~i_cvdd:p.i_cvdd ~dv_cvss:p.dv_cvss
+    ~i_cvss:p.i_cvss ~dv_wl_wr:p.dv_wl_wr ~i_wl_wr:p.i_wl_wr
+    ~v_bl_rd:p.v_bl_rd ~i_bl_rd:p.i_bl_rd ~d_write_cell:p.p_d_write_cell
+    ~wl_boosted:p.wl_boosted
+
+let eval_staged st a = complete st (prepare st.st_env a)
+
+(* ----- admissible lower envelope -----
+
+   Across a vssc scan only four components move.  Taking, per Equation (1)
+   operand, the extreme that minimizes the component (smallest dV and V,
+   largest I) yields component values that lower-bound the component at
+   every enveloped assist; since every combining operation in
+   [complete_parts] (+., *., /., max, all on non-negative operands) is
+   monotone under IEEE rounding, the resulting metrics lower-bound every
+   actual metrics field — no epsilon needed.  The envelope's fields are
+   per-field bounds; they are generally not attained by any single
+   assist. *)
+
+type envelope = {
+  b_dv_cvdd : float;
+  b_i_cvdd : float;
+  b_dv_cvss : float;
+  b_i_cvss : float;
+  b_dv_wl_wr : float;
+  b_i_wl_wr : float;
+  b_v_bl_rd : float;
+  b_i_bl_rd : float;
+  b_d_write_cell : float;
+  b_wl_boosted_all : bool;
+}
+
+let envelope (ps : prepared array) =
+  if Array.length ps = 0 then invalid_arg "Array_eval.envelope: empty";
+  Array.fold_left
+    (fun acc p ->
+      { b_dv_cvdd = min acc.b_dv_cvdd p.dv_cvdd;
+        b_i_cvdd = max acc.b_i_cvdd p.i_cvdd;
+        b_dv_cvss = min acc.b_dv_cvss p.dv_cvss;
+        b_i_cvss = max acc.b_i_cvss p.i_cvss;
+        b_dv_wl_wr = min acc.b_dv_wl_wr p.dv_wl_wr;
+        b_i_wl_wr = max acc.b_i_wl_wr p.i_wl_wr;
+        b_v_bl_rd = min acc.b_v_bl_rd p.v_bl_rd;
+        b_i_bl_rd = max acc.b_i_bl_rd p.i_bl_rd;
+        b_d_write_cell = min acc.b_d_write_cell p.p_d_write_cell;
+        b_wl_boosted_all = acc.b_wl_boosted_all && p.wl_boosted })
+    { b_dv_cvdd = ps.(0).dv_cvdd;
+      b_i_cvdd = ps.(0).i_cvdd;
+      b_dv_cvss = ps.(0).dv_cvss;
+      b_i_cvss = ps.(0).i_cvss;
+      b_dv_wl_wr = ps.(0).dv_wl_wr;
+      b_i_wl_wr = ps.(0).i_wl_wr;
+      b_v_bl_rd = ps.(0).v_bl_rd;
+      b_i_bl_rd = ps.(0).i_bl_rd;
+      b_d_write_cell = ps.(0).p_d_write_cell;
+      b_wl_boosted_all = ps.(0).wl_boosted }
+    ps
+
+let bound_metrics st (b : envelope) =
+  (* A mixed-boost envelope must use the smaller of the two possible
+     scalings for the WL-overdrive write energy; 1.0 *. e = e exactly, so
+     the all-boosted case reproduces [complete]'s scaled value. *)
+  let wl_boosted =
+    b.b_wl_boosted_all || st.st_env.dcdc_overhead < 1.0
+  in
+  complete_parts st ~dv_cvdd:b.b_dv_cvdd ~i_cvdd:b.b_i_cvdd
+    ~dv_cvss:b.b_dv_cvss ~i_cvss:b.b_i_cvss ~dv_wl_wr:b.b_dv_wl_wr
+    ~i_wl_wr:b.b_i_wl_wr ~v_bl_rd:b.b_v_bl_rd ~i_bl_rd:b.b_i_bl_rd
+    ~d_write_cell:b.b_d_write_cell ~wl_boosted
+
+let staged_env st = st.st_env
+let staged_geometry st = st.st_geometry
+let prepared_assist p = p.p_assist

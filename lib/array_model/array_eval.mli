@@ -70,3 +70,68 @@ val evaluate : env -> Geometry.t -> Components.assist -> metrics
 
 val edp : env -> Geometry.t -> Components.assist -> float
 (** Shortcut for the optimizer's objective. *)
+
+(** {1 Staged evaluation kernel}
+
+    [evaluate] recomputes per-(geometry, assist) work that depends on
+    only one of the two coordinates.  The staged kernel factors it:
+    {!stage} precomputes everything geometry-determined (decoders, wire
+    capacitances, assist-blind Table 2 components, segment prefixes),
+    {!prepare} everything assist-determined (rail drive currents, write
+    cell delay), and {!complete} finishes the cross terms — a few dozen
+    float operations with no table lookups or memo locks.  Results are
+    bit-identical to [evaluate]: every hoisted leaf comes from the same
+    expression as the reference path and the combining arithmetic runs
+    in the same association order (asserted field-for-field by the
+    QCheck property suite). *)
+
+type staged
+(** Geometry-resolved evaluation state: [evaluate] with the assist-
+    dependent holes left open. *)
+
+type prepared
+(** Assist-resolved evaluation state: rail currents and the write cell
+    delay for one assist, reusable across every geometry. *)
+
+val stage : env -> Geometry.t -> staged
+(** Hoist all geometry-only computation.  Increments the
+    ["array_eval.stage"] telemetry counter. *)
+
+val prepare : env -> Components.assist -> prepared
+(** Hoist all assist-only computation (four rail currents and the write
+    cell delay). *)
+
+val complete : staged -> prepared -> metrics
+(** Finish the evaluation; bit-identical to
+    [evaluate env geometry assist] for the matching inputs. *)
+
+val eval_staged : staged -> Components.assist -> metrics
+(** [complete st (prepare env a)] — convenience form when the assist has
+    not been prepared ahead of time. *)
+
+val staged_env : staged -> env
+val staged_geometry : staged -> Geometry.t
+val prepared_assist : prepared -> Components.assist
+
+(** {1 Admissible lower envelope}
+
+    Over a set of assists, taking per Equation (1) operand the extreme
+    that minimizes each component (smallest dV and V, largest I) gives
+    component values lower-bounding the component at every enveloped
+    assist.  Every combining operation downstream (+., *., /., max — all
+    on non-negative operands) is monotone under IEEE round-to-nearest,
+    so {!bound_metrics} lower-bounds every metrics field of every
+    enveloped assist with no epsilon.  A search may therefore skip a
+    geometry whose bound already exceeds the incumbent without ever
+    pruning the optimum. *)
+
+type envelope
+
+val envelope : prepared array -> envelope
+(** Component-wise lower envelope of the given assists.  Raises
+    [Invalid_argument] on an empty array. *)
+
+val bound_metrics : staged -> envelope -> metrics
+(** Admissible per-field lower bounds for this geometry over the
+    enveloped assists.  The fields are bounds, generally not attained by
+    any single assist. *)

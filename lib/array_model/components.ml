@@ -18,6 +18,8 @@ let de ~c ~v ~dv ~i =
     { delay = c *. dv /. i; energy = c *. v *. dv }
   end
 
+let equation1 = de
+
 let cvdd d cur g a =
   de ~c:(Caps.cvdd d g) ~v:vdd ~dv:(a.vddc -. vdd)
     ~i:(Currents.cvdd_driver cur ~vddc:a.vddc)

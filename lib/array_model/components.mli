@@ -17,6 +17,13 @@ type assist = {
 val no_assist : assist
 (** All rails at nominal: vddc = vdd, vssc = 0, vwl = vdd. *)
 
+val equation1 : c:float -> v:float -> dv:float -> i:float -> de
+(** Equation (1) itself: D = C dV / I, E = C V dV, and [{0; 0}] when
+    [dv <= 0].  The staged evaluation kernel re-prices components from
+    hoisted (C, V, dV, I) operands through this exact function, which is
+    what makes its results bit-identical to the component helpers
+    below. *)
+
 val cvdd : Caps.device_caps -> Currents.t -> Geometry.t -> assist -> de
 val cvss : Caps.device_caps -> Currents.t -> Geometry.t -> assist -> de
 val wl_read : Caps.device_caps -> Currents.t -> Geometry.t -> assist -> de

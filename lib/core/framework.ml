@@ -20,13 +20,37 @@ type optimized = {
   result : Opt.Exhaustive.result;
 }
 
+(* Canonical description of a search space's contents, so that any two
+   [Opt.Space.t] values spanning the same grid memoize to the same key.
+   Floats are normalized: [-0.0] (which [Space.default] actually contains
+   at index 0, and which hashes differently from [+0.0]) collapses to
+   [0.0], and sub-microvolt representation noise between arithmetically-
+   built and literal grids is rounded away — 1 uV is far below the 10 mV
+   search resolution, so distinct grids cannot collide. *)
+type space_sig = {
+  s_vssc : float list;
+  s_nr : int list;
+  s_n_pre : int list;
+  s_n_wr : int list;
+}
+
+let canon_volts v =
+  let r = Float.round (v *. 1e6) /. 1e6 in
+  if r = 0.0 then 0.0 else r
+
+let space_sig (s : Opt.Space.t) =
+  { s_vssc = List.map canon_volts (Array.to_list s.Opt.Space.vssc_values);
+    s_nr = Array.to_list s.Opt.Space.nr_values;
+    s_n_pre = Array.to_list s.Opt.Space.n_pre_values;
+    s_n_wr = Array.to_list s.Opt.Space.n_wr_values }
+
 type cache_key = {
   k_capacity : int;
   k_config : config;
   k_objective : Opt.Objective.t;
   k_accounting : Array_model.Array_eval.accounting;
   k_w : int;
-  k_default_space : bool;
+  k_space : space_sig;
 }
 
 let cache : (cache_key, optimized) Runtime.Memo.t =
@@ -45,23 +69,22 @@ let env_for ~flavor ~accounting =
 let optimize ?space ?(objective = Opt.Objective.Energy_delay_product)
     ?(accounting = Array_model.Array_eval.Paper_strict) ?pool ?(w = 64)
     ~capacity_bits ~config () =
-  let default_space = space = None in
   let key =
     { k_capacity = capacity_bits; k_config = config; k_objective = objective;
-      k_accounting = accounting; k_w = w; k_default_space = default_space }
+      k_accounting = accounting; k_w = w;
+      k_space =
+        space_sig (match space with Some s -> s | None -> Opt.Space.default) }
   in
-  let compute () =
-    let env = env_for ~flavor:config.flavor ~accounting in
-    let result =
-      Opt.Exhaustive.search ?space ~objective ?pool ~w ~env ~capacity_bits
-        ~method_:config.method_ ()
-    in
-    { capacity_bits; config; result }
-  in
-  (* Only default-space runs are memoized: the key does not describe a
-     custom space's contents. *)
-  if default_space then Runtime.Memo.find_or_compute cache key compute
-  else compute ()
+  (* The key canonicalizes the space's contents, so custom-space runs
+     (e.g. [headline ~space:Opt.Space.reduced], the benchmark's staple)
+     memoize just like default-space ones. *)
+  Runtime.Memo.find_or_compute cache key (fun () ->
+      let env = env_for ~flavor:config.flavor ~accounting in
+      let result =
+        Opt.Exhaustive.search ?space ~objective ?pool ~w ~env ~capacity_bits
+          ~method_:config.method_ ()
+      in
+      { capacity_bits; config; result })
 
 let paper_capacities =
   List.map (fun bytes -> bytes * 8) [ 128; 256; 1024; 4096; 16384 ]

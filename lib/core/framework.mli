@@ -35,10 +35,13 @@ val optimize :
   unit ->
   optimized
 (** One full co-optimization run.  Results are memoized (bounded LRU)
-    per (capacity, config, objective, accounting, w) for the default
-    space, so repeated CLI / serving requests for the same design are
-    cache hits.  [pool] parallelizes the underlying exhaustive search
-    deterministically (default: {!Runtime.Pool.default}). *)
+    per (capacity, config, objective, accounting, w, space contents) —
+    the space is keyed by a canonical signature of its grids (with
+    [-0.0] / representation noise normalized away), so repeated CLI /
+    serving requests for the same design are cache hits whether or not
+    the space was passed explicitly.  [pool] parallelizes the underlying
+    exhaustive search deterministically (default:
+    {!Runtime.Pool.default}). *)
 
 val paper_capacities : int list
 (** 128B, 256B, 1KB, 4KB, 16KB — in bits. *)

@@ -97,4 +97,4 @@ let search ?(space = Space.default) ?(objective = Objective.Energy_delay_product
     if cand.Exhaustive.score < !best.Exhaustive.score then best := cand;
     temperature := !temperature *. schedule.cooling
   done;
-  { Exhaustive.best = !best; evaluated = !evaluated; levels; pins }
+  { Exhaustive.best = !best; evaluated = !evaluated; pruned = 0; levels; pins }

@@ -8,9 +8,12 @@ type candidate = {
 type result = {
   best : candidate;
   evaluated : int;
+  pruned : int;
   levels : Yield.levels;
   pins : Space.pins;
 }
+
+type kernel = [ `Staged | `Reference ]
 
 (* Earlier-candidate-wins tie break: replace only on a strictly better
    score.  Identical to the sequential scan's [b.score <= score] guard. *)
@@ -21,7 +24,8 @@ let better acc candidate =
   | Some a, Some c -> if c.score < a.score then Some c else Some a
 
 let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
-    ?levels ?pool ?w ~env ~capacity_bits ~method_ ~keep_all () =
+    ?levels ?pool ?w ?(kernel = `Staged) ~env ~capacity_bits ~method_ ~keep_all
+    () =
   if not (Array_model.Geometry.is_power_of_two capacity_bits) then
     invalid_arg "Exhaustive.search: capacity must be a power of two";
   let pool = match pool with Some p -> p | None -> Runtime.Pool.default () in
@@ -39,17 +43,27 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
   if Array.length geometries = 0 then
     invalid_arg "Exhaustive.search: empty geometry space";
   let evals = Runtime.Telemetry.counter "exhaustive.search" in
+  let pruned_scans = Runtime.Telemetry.counter "exhaustive.pruned" in
+  let nv = Array.length vssc_values in
+  let assists = Array.map (fun vssc -> Space.assist_of pins ~vssc) vssc_values in
+  (* Actual work counters (the old [geometries x vssc_values] product is
+     wrong once scans are pruned). *)
+  let n_evaluated = Atomic.make 0 in
+  let n_pruned = Atomic.make 0 in
+  let count_evals n =
+    ignore (Atomic.fetch_and_add n_evaluated n);
+    Runtime.Telemetry.add evals n
+  in
   (* One task per geometry chunk: scan the vssc axis in order, keeping
      the first-best candidate (and, when asked, every candidate in
      evaluation order).  The chunked results are reduced in geometry
      order below, so the output is bit-identical to the sequential
      geometry-major / vssc-minor scan for any job count. *)
-  let eval_geometry geometry =
+  let eval_geometry_reference geometry =
     let best = ref None in
     let all = ref [] in
     Array.iter
-      (fun vssc ->
-        let assist = Space.assist_of pins ~vssc in
+      (fun assist ->
         let metrics = Array_model.Array_eval.evaluate env geometry assist in
         let score = Objective.eval objective metrics in
         let candidate = { geometry; assist; metrics; score } in
@@ -57,9 +71,78 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
         match !best with
         | Some b when b.score <= score -> ()
         | Some _ | None -> best := Some candidate)
-      vssc_values;
-    Runtime.Telemetry.add evals (Array.length vssc_values);
+      assists;
+    count_evals nv;
     (!best, List.rev !all)
+  in
+  let eval_geometry =
+    match kernel with
+    | `Reference -> eval_geometry_reference
+    | `Staged ->
+      let prepared = Array.map (Array_model.Array_eval.prepare env) assists in
+      let envelope = Array_model.Array_eval.envelope prepared in
+      (* Workers publish each geometry's scan minimum — an actually
+         achieved score — and prune a later geometry only when its
+         admissible lower bound strictly exceeds a published score.  A
+         pruned geometry's true minimum is then strictly above the global
+         minimum, so the winner (and the earlier-geometry tie break) is
+         the same as the unpruned scan's for any job count; only the
+         prune/eval counts are timing-dependent. *)
+      let incumbent = Runtime.Shared_min.create () in
+      fun geometry ->
+        let st = Array_model.Array_eval.stage env geometry in
+        let prune =
+          (not keep_all)
+          && Objective.eval objective
+               (Array_model.Array_eval.bound_metrics st envelope)
+             > Runtime.Shared_min.get incumbent
+        in
+        if prune then begin
+          ignore (Atomic.fetch_and_add n_pruned 1);
+          Runtime.Telemetry.incr pruned_scans;
+          (None, [])
+        end
+        else if keep_all then begin
+          let best = ref None in
+          let all = ref [] in
+          Array.iteri
+            (fun i assist ->
+              let metrics = Array_model.Array_eval.complete st prepared.(i) in
+              let score = Objective.eval objective metrics in
+              let candidate = { geometry; assist; metrics; score } in
+              all := candidate :: !all;
+              match !best with
+              | Some b when b.score <= score -> ()
+              | Some _ | None -> best := Some candidate)
+            assists;
+          count_evals nv;
+          (!best, List.rev !all)
+        end
+        else begin
+          (* Hot path: no candidate record or list per evaluation — track
+             the winning index and build one candidate per geometry. *)
+          let m0 = Array_model.Array_eval.complete st prepared.(0) in
+          let best_i = ref 0 in
+          let best_m = ref m0 in
+          let best_score = ref (Objective.eval objective m0) in
+          for i = 1 to nv - 1 do
+            let m = Array_model.Array_eval.complete st prepared.(i) in
+            let s = Objective.eval objective m in
+            if s < !best_score then begin
+              best_i := i;
+              best_m := m;
+              best_score := s
+            end
+          done;
+          count_evals nv;
+          Runtime.Shared_min.publish incumbent !best_score;
+          ( Some
+              { geometry;
+                assist = assists.(!best_i);
+                metrics = !best_m;
+                score = !best_score },
+            [] )
+        end
   in
   let per_geometry =
     Runtime.Telemetry.time "exhaustive.search" (fun () ->
@@ -68,20 +151,26 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
   let best =
     Array.fold_left (fun acc (b, _) -> better acc b) None per_geometry
   in
-  let evaluated = Array.length geometries * Array.length vssc_values in
   let all =
     if keep_all then List.concat_map snd (Array.to_list per_geometry) else []
   in
   match best with
   | None -> invalid_arg "Exhaustive.search: no candidates"
-  | Some best -> ({ best; evaluated; levels; pins }, all)
+  | Some best ->
+    ( { best;
+        evaluated = Atomic.get n_evaluated;
+        pruned = Atomic.get n_pruned;
+        levels;
+        pins },
+      all )
 
-let search ?space ?objective ?levels ?pool ?w ~env ~capacity_bits ~method_ () =
+let search ?space ?objective ?levels ?pool ?w ?kernel ~env ~capacity_bits
+    ~method_ () =
   fst
-    (run ?space ?objective ?levels ?pool ?w ~env ~capacity_bits ~method_
-       ~keep_all:false ())
+    (run ?space ?objective ?levels ?pool ?w ?kernel ~env ~capacity_bits
+       ~method_ ~keep_all:false ())
 
-let search_all ?space ?objective ?levels ?pool ?w ~env ~capacity_bits ~method_
-    () =
-  run ?space ?objective ?levels ?pool ?w ~env ~capacity_bits ~method_
+let search_all ?space ?objective ?levels ?pool ?w ?kernel ~env ~capacity_bits
+    ~method_ () =
+  run ?space ?objective ?levels ?pool ?w ?kernel ~env ~capacity_bits ~method_
     ~keep_all:true ()

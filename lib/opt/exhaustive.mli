@@ -4,7 +4,17 @@
     relatively small ranges are left, [so] we can derive the minimum
     energy-delay product point ... using an exhaustive search"
     (Section 5).  Every candidate is priced through the analytic array
-    model; the search is deterministic. *)
+    model; the search is deterministic.
+
+    Two evaluation kernels are available.  [`Staged] (the default)
+    factors each evaluation through {!Array_model.Array_eval.stage} /
+    [complete] — geometry work once per geometry, assist work once per
+    assist — and skips a geometry's whole vssc scan when its admissible
+    lower bound ({!Array_model.Array_eval.bound_metrics}) strictly
+    exceeds a score already published by another worker.  [`Reference]
+    prices every candidate with {!Array_model.Array_eval.evaluate} and
+    never prunes.  Both return bit-identical winners; [`Reference]
+    exists as the oracle for the kernel benchmark and tests. *)
 
 type candidate = {
   geometry : Array_model.Geometry.t;
@@ -16,9 +26,18 @@ type candidate = {
 type result = {
   best : candidate;
   evaluated : int;
+  (** Model evaluations actually performed (telemetry-backed count, not
+      the [geometries x vssc_values] product — pruned scans don't
+      evaluate). *)
+  pruned : int;
+  (** Whole vssc scans skipped by the admissible bound.  Timing-dependent
+      under parallelism (a worker prunes against whatever has been
+      published when it looks); the winner is not. *)
   levels : Yield.levels;
   pins : Space.pins;
 }
+
+type kernel = [ `Staged | `Reference ]
 
 val search :
   ?space:Space.t ->
@@ -26,6 +45,7 @@ val search :
   ?levels:Yield.levels ->
   ?pool:Runtime.Pool.t ->
   ?w:int ->
+  ?kernel:kernel ->
   env:Array_model.Array_eval.env ->
   capacity_bits:int ->
   method_:Space.method_ ->
@@ -38,7 +58,8 @@ val search :
     [pool] (default {!Runtime.Pool.default}) evaluates geometry chunks
     on worker domains; the index-ordered reduction makes the result —
     winner, tie-breaking and all — bit-identical to the sequential scan
-    for any job count.
+    for any job count.  [kernel] selects the evaluation path (default
+    [`Staged]).
     @raise Invalid_argument if the capacity is not a power of two or no
     geometry candidate exists. *)
 
@@ -48,11 +69,14 @@ val search_all :
   ?levels:Yield.levels ->
   ?pool:Runtime.Pool.t ->
   ?w:int ->
+  ?kernel:kernel ->
   env:Array_model.Array_eval.env ->
   capacity_bits:int ->
   method_:Space.method_ ->
   unit ->
   result * candidate list
 (** As {!search} but also returns every evaluated candidate (input to
-    Pareto-front extraction and ablations).  Memory: one record per
+    Pareto-front extraction and ablations).  Never prunes — the full
+    candidate list is the contract — so [result.pruned] is 0 and
+    [result.evaluated] covers the whole space.  Memory: one record per
     design point. *)

@@ -26,18 +26,49 @@ let search ?(space = Space.default) ?(objective = Objective.Energy_delay_product
   if Array.length nr_values = 0 then
     invalid_arg "Local_search.search: empty geometry space";
   let evaluated = ref 0 in
+  let pruned = ref 0 in
+  (* Assist-side work once per vssc level; geometry-side work memoized per
+     distinct (n_r, N_pre, N_wr) visited — line scans revisit geometries
+     constantly, so the staged records pay for themselves within one
+     descent cycle. *)
+  let assists =
+    Array.map (fun vssc -> Space.assist_of pins ~vssc) vssc_values
+  in
+  let prepared = Array.map (Array_model.Array_eval.prepare env) assists in
+  let envelope = Array_model.Array_eval.envelope prepared in
+  let staged_tbl = Hashtbl.create 64 in
+  (* (staged record, admissible lower bound on the objective over the
+     whole vssc line for that geometry). *)
+  let staged_for s =
+    let key = (s.nr_i, s.n_pre_i, s.n_wr_i) in
+    match Hashtbl.find_opt staged_tbl key with
+    | Some entry -> entry
+    | None ->
+      let nr = nr_values.(s.nr_i) in
+      let geometry =
+        Array_model.Geometry.create ~nr ~nc:(capacity_bits / nr) ~w
+          ~n_pre:space.Space.n_pre_values.(s.n_pre_i)
+          ~n_wr:space.Space.n_wr_values.(s.n_wr_i)
+          ()
+      in
+      let st = Array_model.Array_eval.stage env geometry in
+      let bound =
+        Objective.eval objective
+          (Array_model.Array_eval.bound_metrics st envelope)
+      in
+      let entry = (st, bound) in
+      Hashtbl.add staged_tbl key entry;
+      entry
+  in
   let eval state =
-    let nr = nr_values.(state.nr_i) in
-    let geometry =
-      Array_model.Geometry.create ~nr ~nc:(capacity_bits / nr) ~w
-        ~n_pre:space.Space.n_pre_values.(state.n_pre_i)
-        ~n_wr:space.Space.n_wr_values.(state.n_wr_i)
-        ()
+    let st, _ = staged_for state in
+    let metrics =
+      Array_model.Array_eval.complete st prepared.(state.vssc_i)
     in
-    let assist = Space.assist_of pins ~vssc:vssc_values.(state.vssc_i) in
-    let metrics = Array_model.Array_eval.evaluate env geometry assist in
     incr evaluated;
-    { Exhaustive.geometry; assist; metrics;
+    { Exhaustive.geometry = Array_model.Array_eval.staged_geometry st;
+      assist = assists.(state.vssc_i);
+      metrics;
       score = Objective.eval objective metrics }
   in
   (* Line scan of one coordinate with the rest pinned. *)
@@ -73,8 +104,26 @@ let search ?(space = Space.default) ?(objective = Objective.Energy_delay_product
       let state', candidate' =
         List.fold_left
           (fun (s, c) coordinate ->
-            let s', c' = scan s coordinate in
-            if c'.Exhaustive.score < c.Exhaustive.score then (s', c') else (s, c))
+            (* A vssc line keeps the geometry fixed, so the staged bound
+               covers every point on it: when the bound already matches or
+               exceeds the incumbent, no point can *strictly* improve and
+               the whole scan is skipped — same accept/reject decisions as
+               the unpruned descent, fewer evaluations. *)
+            let prune =
+              match coordinate with
+              | `Vssc ->
+                let _, bound = staged_for s in
+                bound >= c.Exhaustive.score
+              | `Nr | `Npre | `Nwr -> false
+            in
+            if prune then begin
+              incr pruned;
+              (s, c)
+            end
+            else
+              let s', c' = scan s coordinate in
+              if c'.Exhaustive.score < c.Exhaustive.score then (s', c')
+              else (s, c))
           (state, candidate)
           [ `Vssc; `Nr; `Npre; `Nwr ]
       in
@@ -107,4 +156,5 @@ let search ?(space = Space.default) ?(objective = Objective.Energy_delay_product
   done;
   match !best with
   | None -> invalid_arg "Local_search.search: no candidates"
-  | Some best -> { Exhaustive.best; evaluated = !evaluated; levels; pins }
+  | Some best ->
+    { Exhaustive.best; evaluated = !evaluated; pruned = !pruned; levels; pins }

@@ -20,4 +20,9 @@ val search :
   unit ->
   Exhaustive.result
 (** Same result shape as {!Exhaustive.search}; [restarts] deterministic
-    starting points (default 4). *)
+    starting points (default 4).  Evaluations run through the staged
+    kernel with per-geometry staging memoized across line scans, and a
+    V_SSC line whose admissible bound cannot strictly beat the incumbent
+    is skipped whole ([result.pruned] counts skipped lines); the descent
+    visits and accepts exactly the same states as the unpruned
+    procedure. *)

@@ -1,0 +1,11 @@
+type t = float Atomic.t
+
+let create () = Atomic.make infinity
+
+let get = Atomic.get
+
+let rec publish t x =
+  let cur = Atomic.get t in
+  if x < cur && not (Atomic.compare_and_set t cur x) then publish t x
+
+let reset t = Atomic.set t infinity

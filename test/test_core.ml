@@ -201,6 +201,45 @@ let framework_tests =
         Alcotest.(check bool) "hvt wins" true
           ((Sram_edp.Framework.metrics h).Array_model.Array_eval.edp
            < (Sram_edp.Framework.metrics l).Array_model.Array_eval.edp));
+    case "repeated sweep hits the memo, custom space included" (fun () ->
+        (* Regression: the memo key used to carry only a [default_space]
+           flag, so explicitly-passed spaces — every bench sweep — never
+           hit, and BENCH_runtime.json reported a 0.0 hit rate. *)
+        let memo_stats () =
+          List.find
+            (fun (s : Runtime.Memo.stats) ->
+              s.Runtime.Memo.name = "framework.optimize")
+            (Runtime.Memo.registered_stats ())
+        in
+        let sweep () =
+          ignore
+            (Sram_edp.Framework.sweep_capacities ~space:Opt.Space.reduced
+               ~capacities:[ 128 * 8; 256 * 8 ]
+               ~configs:Sram_edp.Framework.all_configs ())
+        in
+        sweep ();
+        let cold = memo_stats () in
+        sweep ();
+        let warm = memo_stats () in
+        Alcotest.(check int) "no new misses on the warm sweep"
+          cold.Runtime.Memo.misses warm.Runtime.Memo.misses;
+        Alcotest.(check bool) "hits > 0" true
+          (warm.Runtime.Memo.hits >= cold.Runtime.Memo.hits + 8);
+        (* An arithmetically rebuilt grid with -0.0 and representation
+           noise canonicalizes to the same key. *)
+        let noisy =
+          { Opt.Space.reduced with
+            Opt.Space.vssc_values =
+              Array.init
+                (Array.length Opt.Space.reduced.Opt.Space.vssc_values)
+                (fun i -> -0.010 *. float_of_int (3 * i)) }
+        in
+        ignore
+          (Sram_edp.Framework.optimize ~space:noisy ~capacity_bits:(128 * 8)
+             ~config:hvt_m2 ());
+        let after = memo_stats () in
+        Alcotest.(check int) "noisy grid is a hit, not a miss"
+          warm.Runtime.Memo.misses after.Runtime.Memo.misses);
     case "headline reductions grow with capacity" (fun () ->
         let h = Sram_edp.Framework.headline () in
         let reductions = List.map (fun (_, r, _) -> r) h.Sram_edp.Framework.per_capacity in

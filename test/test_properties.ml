@@ -180,6 +180,104 @@ let prop_dcdc_bounds =
       let eta = Array_model.Dcdc.efficiency ~v_out () in
       eta > 0.0 && eta <= 1.0 && Array_model.Dcdc.overhead ~v_out () >= 1.0)
 
+(* --- staged evaluation kernel --- *)
+
+let env_lvt = Array_model.Array_eval.make_env ~cell_flavor:Finfet.Library.Lvt ()
+
+let env_hvt_physical =
+  Array_model.Array_eval.make_env ~accounting:Array_model.Array_eval.Physical
+    ~cell_flavor:Finfet.Library.Hvt ()
+
+let kernel_envs = [ env_hvt; env_lvt; env_hvt_physical ]
+
+(* Field-for-field Float.equal — NOT a tolerance check: the staged kernel
+   promises bit identity with the reference path. *)
+let metrics_equal (a : Array_model.Array_eval.metrics)
+    (b : Array_model.Array_eval.metrics) =
+  let open Array_model.Array_eval in
+  Float.equal a.d_read b.d_read
+  && Float.equal a.d_write b.d_write
+  && Float.equal a.d_array b.d_array
+  && Float.equal a.e_read b.e_read
+  && Float.equal a.e_write b.e_write
+  && Float.equal a.e_switching b.e_switching
+  && Float.equal a.e_leakage b.e_leakage
+  && Float.equal a.e_total b.e_total
+  && Float.equal a.edp b.edp
+  && Float.equal a.d_bl_read b.d_bl_read
+  && Float.equal a.d_row_path_read b.d_row_path_read
+  && Float.equal a.d_col_path b.d_col_path
+
+let prop_staged_bit_identical =
+  QCheck.Test.make
+    ~name:"eval_staged = evaluate bit-for-bit (LVT, HVT, both accountings)"
+    ~count:150
+    QCheck.(pair geometry_gen assist_gen)
+    (fun (g, a) ->
+      List.for_all
+        (fun env ->
+          let reference = Array_model.Array_eval.evaluate env g a in
+          let staged =
+            Array_model.Array_eval.(eval_staged (stage env g) a)
+          in
+          metrics_equal reference staged)
+        kernel_envs)
+
+let prop_bound_admissible =
+  QCheck.Test.make
+    ~name:"envelope bound lower-bounds every enveloped assist's metrics"
+    ~count:80
+    QCheck.(pair geometry_gen (list_of_size (Gen.int_range 1 8) assist_gen))
+    (fun (g, assists) ->
+      List.for_all
+        (fun env ->
+          let open Array_model.Array_eval in
+          let st = stage env g in
+          let preps =
+            Array.of_list (List.map (fun a -> prepare env a) assists)
+          in
+          let b = bound_metrics st (envelope preps) in
+          List.for_all
+            (fun a ->
+              let m = evaluate env g a in
+              b.d_read <= m.d_read && b.d_write <= m.d_write
+              && b.d_array <= m.d_array && b.e_read <= m.e_read
+              && b.e_write <= m.e_write && b.e_total <= m.e_total
+              && b.edp <= m.edp)
+            assists)
+        kernel_envs)
+
+let prop_pruned_search_matches_reference =
+  (* Whole searches: the pruned staged scan must select the same design,
+     bit for bit, as the never-pruning reference kernel. *)
+  QCheck.Test.make
+    ~name:"pruned staged search returns the reference kernel's winner"
+    ~count:6
+    QCheck.(triple (int_range 0 3) bool (int_bound 3))
+    (fun (cap_exp, m2, obj_i) ->
+      let capacity_bits = 1024 * (1 lsl cap_exp) in
+      let method_ = if m2 then Opt.Space.M2 else Opt.Space.M1 in
+      let objective =
+        [| Opt.Objective.Energy_delay_product;
+           Opt.Objective.Energy_delay_squared; Opt.Objective.Energy_only;
+           Opt.Objective.Delay_only |].(obj_i)
+      in
+      let run kernel =
+        Opt.Exhaustive.search ~space:Opt.Space.reduced ~objective ~kernel
+          ~env:env_hvt ~capacity_bits ~method_ ()
+      in
+      let staged = run `Staged in
+      let reference = run `Reference in
+      let sb = staged.Opt.Exhaustive.best
+      and rb = reference.Opt.Exhaustive.best in
+      sb.Opt.Exhaustive.geometry = rb.Opt.Exhaustive.geometry
+      && sb.Opt.Exhaustive.assist = rb.Opt.Exhaustive.assist
+      && Float.equal sb.Opt.Exhaustive.score rb.Opt.Exhaustive.score
+      && metrics_equal sb.Opt.Exhaustive.metrics rb.Opt.Exhaustive.metrics
+      && staged.Opt.Exhaustive.evaluated + staged.Opt.Exhaustive.pruned
+         > 0
+      && reference.Opt.Exhaustive.pruned = 0)
+
 (* --- workload --- *)
 
 let prop_trace_summary_bounds =
@@ -276,6 +374,10 @@ let () =
        List.map to_alco
          [ prop_caps_positive; prop_metrics_invariants; prop_physical_not_cheaper;
            prop_deeper_vssc_faster_reads; prop_dcdc_bounds ]);
+      ("staged_kernel",
+       List.map to_alco
+         [ prop_staged_bit_identical; prop_bound_admissible;
+           prop_pruned_search_matches_reference ]);
       ("workload", List.map to_alco [ prop_trace_summary_bounds ]);
       ("deck", List.map to_alco [ prop_deck_roundtrip ]);
       ("macro", List.map to_alco [ prop_macro_matches_reference ]) ]

@@ -207,12 +207,44 @@ let search_determinism_tests =
       (label ^ ": candidate order") true
       (List.for_all2 candidate_equal seq_all par_all)
   in
+  (* Pruning trades `evaluated`/`pruned` determinism for speed (what gets
+     skipped depends on publication timing), but never the winner: the
+     selected design must stay bit-identical across job counts. *)
+  let check_pruned_winner capacity_bits method_ =
+    let run pool =
+      Opt.Exhaustive.search ~space:Opt.Space.reduced ~pool ~env ~capacity_bits
+        ~method_ ()
+    in
+    let seq = run (pool_of 1) in
+    List.iter
+      (fun jobs ->
+        let par = run (pool_of jobs) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%db %s: winner at jobs=%d" capacity_bits
+             (Opt.Space.method_name method_) jobs)
+          true
+          (candidate_equal seq.Opt.Exhaustive.best par.Opt.Exhaustive.best);
+        Alcotest.(check int)
+          (Printf.sprintf "jobs=%d: no scan dropped" jobs)
+          (Opt.Space.size ~w:64 Opt.Space.reduced ~capacity_bits method_)
+          (par.Opt.Exhaustive.evaluated
+           + (par.Opt.Exhaustive.pruned
+              * (match method_ with
+                 | Opt.Space.M1 -> 1
+                 | Opt.Space.M2 ->
+                   Array.length Opt.Space.reduced.Opt.Space.vssc_values))))
+      [ 2; 4 ]
+  in
   [ case "parallel search_all equals sequential (128B, both methods)" (fun () ->
         check_capacity (128 * 8) Opt.Space.M1;
         check_capacity (128 * 8) Opt.Space.M2);
     case "parallel search_all equals sequential (256B, both methods)" (fun () ->
         check_capacity (256 * 8) Opt.Space.M1;
-        check_capacity (256 * 8) Opt.Space.M2) ]
+        check_capacity (256 * 8) Opt.Space.M2);
+    case "pruned search keeps the same winner at 1/2/4 jobs" (fun () ->
+        check_pruned_winner (128 * 8) Opt.Space.M1;
+        check_pruned_winner (128 * 8) Opt.Space.M2;
+        check_pruned_winner (1024 * 8) Opt.Space.M2) ]
 
 let yield_mc_determinism_tests =
   [ case "chunked MC pins are independent of the job count" (fun () ->
