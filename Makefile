@@ -3,8 +3,9 @@
 #   make bench        runtime scaling benchmark (writes BENCH_runtime.json)
 #   make bench-kernel staged-kernel benchmark (writes BENCH_kernel.json)
 #   make bench-smoke  staged-kernel benchmark, reduced space, no JSON
+#   make bench-obs    observability overhead benchmark (writes BENCH_obs.json)
 
-.PHONY: all check test bench bench-kernel bench-smoke clean
+.PHONY: all check test bench bench-kernel bench-smoke bench-obs clean
 
 all:
 	dune build
@@ -14,6 +15,7 @@ check:
 	dune runtest
 	dune exec bench/main.exe -- headline --smoke
 	dune exec bench/main.exe -- kernel --smoke
+	dune exec bench/main.exe -- obs --smoke
 
 test:
 	dune runtest
@@ -26,6 +28,9 @@ bench-kernel:
 
 bench-smoke:
 	dune exec bench/main.exe -- kernel --smoke
+
+bench-obs:
+	dune exec bench/main.exe -- obs
 
 clean:
 	dune clean

@@ -117,23 +117,77 @@ let stats_arg =
   Arg.(value & flag
        & info [ "stats" ]
            ~doc:"After the run, print runtime telemetry: evaluation rates, \
-                 per-phase wall time and memo-cache hit rates.")
+                 latency percentiles, per-phase wall time and memo-cache \
+                 hit rates.")
 
-(* Configure the default pool before the command body, report afterwards.
-   Every search entry point picks the default pool up, so --jobs needs no
-   further plumbing. *)
-let with_runtime ~jobs ~stats f =
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a Chrome trace-event timeline of the run (one track \
+                 per worker domain) and write it to $(docv).  Load the file \
+                 in Perfetto (ui.perfetto.dev) or chrome://tracing.")
+
+let progress_arg =
+  Arg.(value & flag
+       & info [ "progress" ]
+           ~doc:"Live progress ticker on stderr: geometries done / pruned, \
+                 evaluation rate and ETA.")
+
+let log_level_arg =
+  Arg.(value & opt (some string) None
+       & info [ "log-level" ] ~docv:"LEVEL"
+           ~doc:"Diagnostic verbosity: quiet, error, warn, info or debug \
+                 (default warn; the SRAM_OPT_LOG environment variable sets \
+                 the same thing).")
+
+(* Configure the default pool and the observability layer before the
+   command body, report/flush afterwards.  Every search entry point picks
+   the default pool up, so --jobs needs no further plumbing; likewise the
+   instrumentation sites read process-global [Obs] state. *)
+let with_runtime ?(trace = None) ?(progress = false) ?(log_level = None)
+    ~jobs ~stats f =
+  (match log_level with
+   | None -> ()
+   | Some s ->
+     (match Obs.Log.of_string s with
+      | Some level -> Obs.Log.set_level level
+      | None ->
+        Printf.eprintf
+          "sram_opt: bad --log-level %S (quiet|error|warn|info|debug)\n" s;
+        exit 2));
+  Obs.Control.set_worker_name "main";
   Runtime.Pool.set_default_jobs jobs;
-  let result = f () in
-  if stats then begin
-    Runtime.Telemetry.print_report ();
-    Runtime.Memo.print_stats ()
-  end;
-  result
+  if stats || trace <> None then Obs.Control.set_enabled true;
+  if trace <> None then Obs.Trace.start ();
+  if progress then Obs.Progress.start ();
+  let finish () =
+    if progress then Obs.Progress.stop ();
+    match trace with
+    | None -> ()
+    | Some path ->
+      Obs.Trace.stop ();
+      let n = Obs.Trace.write path in
+      Printf.eprintf "wrote %d trace events to %s\n%!" n path
+  in
+  match f () with
+  | result ->
+    finish ();
+    if stats then begin
+      Runtime.Telemetry.print_report ();
+      Obs.Histogram.print_report ();
+      Runtime.Memo.print_stats ()
+    end;
+    result
+  | exception e ->
+    (* Stop the ticker domain so the exception reaches the user on a
+       clean line (and the process can exit). *)
+    if progress then Obs.Progress.stop ();
+    raise e
 
 let optimize_cmd =
-  let run capacity flavor method_ accounting json jobs stats =
-    with_runtime ~jobs ~stats @@ fun () ->
+  let run capacity flavor method_ accounting json jobs stats trace progress
+      log_level =
+    with_runtime ~trace ~progress ~log_level ~jobs ~stats @@ fun () ->
     let o =
       Sram_edp.Framework.optimize ~accounting ~capacity_bits:capacity
         ~config:{ Sram_edp.Framework.flavor; method_ } ()
@@ -161,11 +215,12 @@ let optimize_cmd =
   in
   Cmd.v (Cmd.info "optimize" ~doc:"Co-optimize one SRAM array for minimum EDP")
     Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ accounting_arg
-          $ json_flag $ jobs_arg $ stats_arg)
+          $ json_flag $ jobs_arg $ stats_arg $ trace_arg $ progress_arg
+          $ log_level_arg)
 
 let sweep_cmd =
-  let run json jobs stats =
-    with_runtime ~jobs ~stats @@ fun () ->
+  let run json jobs stats trace progress log_level =
+    with_runtime ~trace ~progress ~log_level ~jobs ~stats @@ fun () ->
     if json then begin
       (* Evaluate the sweep before snapshotting the telemetry: list and
          [@] operands evaluate right-to-left in OCaml. *)
@@ -190,14 +245,17 @@ let sweep_cmd =
     end
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Regenerate Table 4 and Figure 7 across capacities")
-    Term.(const run $ json_flag $ jobs_arg $ stats_arg)
+    Term.(const run $ json_flag $ jobs_arg $ stats_arg $ trace_arg
+          $ progress_arg $ log_level_arg)
 
 let experiments_cmd =
-  let run jobs stats =
-    with_runtime ~jobs ~stats Sram_edp.Experiments.run_all
+  let run jobs stats trace progress log_level =
+    with_runtime ~trace ~progress ~log_level ~jobs ~stats
+      Sram_edp.Experiments.run_all
   in
   Cmd.v (Cmd.info "experiments" ~doc:"Run the full paper-reproduction suite")
-    Term.(const run $ jobs_arg $ stats_arg)
+    Term.(const run $ jobs_arg $ stats_arg $ trace_arg $ progress_arg
+          $ log_level_arg)
 
 let margins_cmd =
   let run flavor vddc vssc vwl =
@@ -278,8 +336,8 @@ let assist_cmd =
     Term.(const run $ technique_arg)
 
 let anneal_cmd =
-  let run capacity flavor method_ seed jobs stats =
-    with_runtime ~jobs ~stats @@ fun () ->
+  let run capacity flavor method_ seed jobs stats trace progress log_level =
+    with_runtime ~trace ~progress ~log_level ~jobs ~stats @@ fun () ->
     let env = Array_model.Array_eval.make_env ~cell_flavor:flavor () in
     let exhaustive =
       Opt.Exhaustive.search ~env ~capacity_bits:capacity ~method_ ()
@@ -296,11 +354,13 @@ let anneal_cmd =
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Annealing RNG seed.") in
   Cmd.v (Cmd.info "anneal" ~doc:"Compare simulated annealing against exhaustive search")
-    Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ seed $ jobs_arg $ stats_arg)
+    Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ seed $ jobs_arg
+          $ stats_arg $ trace_arg $ progress_arg $ log_level_arg)
 
 let bank_cmd =
-  let run capacity flavor method_ max_banks jobs stats =
-    with_runtime ~jobs ~stats @@ fun () ->
+  let run capacity flavor method_ max_banks jobs stats trace progress
+      log_level =
+    with_runtime ~trace ~progress ~log_level ~jobs ~stats @@ fun () ->
     let env = Array_model.Array_eval.make_env ~cell_flavor:flavor () in
     let best, all =
       Cache_model.Banked.optimize ~space:Opt.Space.reduced ~max_banks ~env
@@ -337,7 +397,7 @@ let bank_cmd =
     (Cmd.info "bank"
        ~doc:"Co-optimize the bank count on top of the array-level search")
     Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ max_banks
-          $ jobs_arg $ stats_arg)
+          $ jobs_arg $ stats_arg $ trace_arg $ progress_arg $ log_level_arg)
 
 let retention_cmd =
   let run flavor =
@@ -531,7 +591,8 @@ let simulate_cmd =
        | None ->
          let s = Spice.Dc.operating_point netlist in
          if not s.Spice.Dc.converged then
-           print_endline "warning: operating point did not fully converge";
+           Obs.Log.warn ~section:"spice"
+             "operating point did not fully converge";
          let nodes =
            match op_nodes with [] -> List.map fst names | some -> some
          in

@@ -79,12 +79,16 @@ let optimize ?space ?(objective = Opt.Objective.Energy_delay_product)
      (e.g. [headline ~space:Opt.Space.reduced], the benchmark's staple)
      memoize just like default-space ones. *)
   Runtime.Memo.find_or_compute cache key (fun () ->
-      let env = env_for ~flavor:config.flavor ~accounting in
-      let result =
-        Opt.Exhaustive.search ?space ~objective ?pool ~w ~env ~capacity_bits
-          ~method_:config.method_ ()
-      in
-      { capacity_bits; config; result })
+      Obs.Log.debug ~section:"framework"
+        "optimize miss: %s %d bits — running exhaustive search"
+        (config_name config) capacity_bits;
+      Runtime.Telemetry.time "framework.optimize" (fun () ->
+          let env = env_for ~flavor:config.flavor ~accounting in
+          let result =
+            Opt.Exhaustive.search ?space ~objective ?pool ~w ~env
+              ~capacity_bits ~method_:config.method_ ()
+          in
+          { capacity_bits; config; result }))
 
 let paper_capacities =
   List.map (fun bytes -> bytes * 8) [ 128; 256; 1024; 4096; 16384 ]

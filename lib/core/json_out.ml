@@ -151,7 +151,29 @@ let of_memo_stats (s : Runtime.Memo.stats) =
       ("hits", Int s.Runtime.Memo.hits);
       ("misses", Int s.Runtime.Memo.misses);
       ("evictions", Int s.Runtime.Memo.evictions);
-      ("hit_rate", Float (Runtime.Memo.hit_rate s)) ]
+      ("hit_rate", Float (Runtime.Memo.hit_rate s));
+      ("occupancy", Float (Runtime.Memo.occupancy s)) ]
+
+let of_histogram (s : Obs.Histogram.snapshot) =
+  Obj
+    [ ("name", String s.Obs.Histogram.name);
+      ("samples", Int s.Obs.Histogram.count);
+      ("sample_every", Int s.Obs.Histogram.sample);
+      ("mean_s", Float (Obs.Histogram.mean s));
+      ("min_s", Float s.Obs.Histogram.min_s);
+      ("max_s", Float s.Obs.Histogram.max_s);
+      ("p50_s", Float (Obs.Histogram.percentile s 0.50));
+      ("p90_s", Float (Obs.Histogram.percentile s 0.90));
+      ("p99_s", Float (Obs.Histogram.percentile s 0.99)) ]
+
+(* Empty histograms are dropped rather than emitted: their min/max are
+   infinities, which have no JSON representation. *)
+let histograms_json () =
+  List
+    (List.filter_map
+       (fun (s : Obs.Histogram.snapshot) ->
+         if s.Obs.Histogram.count > 0 then Some (of_histogram s) else None)
+       (Obs.Histogram.snapshots ()))
 
 let of_telemetry (snap : Runtime.Telemetry.snapshot) =
   Obj
@@ -174,4 +196,5 @@ let runtime_stats_json () =
   Obj
     [ ("jobs", Int (Runtime.Pool.default_jobs ()));
       ("telemetry", of_telemetry (Runtime.Telemetry.snapshot ()));
-      ("memos", List (List.map of_memo_stats (Runtime.Memo.registered_stats ()))) ]
+      ("memos", List (List.map of_memo_stats (Runtime.Memo.registered_stats ())));
+      ("histograms", histograms_json ()) ]

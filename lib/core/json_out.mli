@@ -38,6 +38,15 @@ val of_memo_stats : Runtime.Memo.stats -> t
 
 val of_telemetry : Runtime.Telemetry.snapshot -> t
 
+val of_histogram : Obs.Histogram.snapshot -> t
+(** One latency histogram as name / samples / mean / min / max /
+    p50 / p90 / p99 (seconds).  The snapshot must be non-empty:
+    an empty one has infinite min/max, which JSON cannot express. *)
+
+val histograms_json : unit -> t
+(** Every registered {!Obs.Histogram} with at least one sample. *)
+
 val runtime_stats_json : unit -> t
-(** Default-pool job count, telemetry counters/spans, and every memo
-    cache's hit/miss statistics — the CLI's [--stats --json] payload. *)
+(** Default-pool job count, telemetry counters/spans, every memo
+    cache's hit/miss/occupancy statistics, and all non-empty latency
+    histograms — the CLI's [--stats --json] payload. *)

@@ -1,0 +1,15 @@
+(* bechamel's stub is a direct clock_gettime(CLOCK_MONOTONIC) returning
+   nanoseconds; probe it once so a hypothetical broken platform degrades
+   to gettimeofday instead of handing out zeros. *)
+let monotonic_available =
+  try
+    let a = Monotonic_clock.now () in
+    let b = Monotonic_clock.now () in
+    Int64.compare a 0L > 0 && Int64.compare b a >= 0
+  with _ -> false
+
+let monotonic () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+let wall = Unix.gettimeofday
+
+let now = if monotonic_available then monotonic else wall

@@ -1,0 +1,18 @@
+(** Time sources for the observability layer.
+
+    {!now} is a monotonic clock (CLOCK_MONOTONIC via the bechamel stub)
+    when the platform provides one, so span totals and derived rates
+    survive wall-clock steps; it falls back to [Unix.gettimeofday]
+    otherwise.  The absolute value of {!now} is meaningless — only
+    differences are. *)
+
+val monotonic_available : bool
+(** Whether {!now} is actually backed by the monotonic source. *)
+
+val now : unit -> float
+(** Monotonic seconds (arbitrary epoch).  Never steps backwards when
+    {!monotonic_available}. *)
+
+val wall : unit -> float
+(** Wall-clock seconds since the Unix epoch, for timestamps meant to be
+    correlated with the outside world. *)

@@ -1,0 +1,26 @@
+let enabled = Atomic.make false
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+let max_slots = 128
+
+(* The domain id is already a dense small integer and [Domain.self] is a
+   noalloc primitive, so it beats domain-local storage as a shard index:
+   [slot] must stay a few nanoseconds because histogram [tick]s call it
+   on ~100 ns evaluation paths. *)
+let slot () = (Domain.self () :> int) land (max_slots - 1)
+
+let names_lock = Mutex.create ()
+let names : (int, string) Hashtbl.t = Hashtbl.create 16
+
+let set_worker_name name =
+  let s = slot () in
+  Mutex.lock names_lock;
+  Hashtbl.replace names s name;
+  Mutex.unlock names_lock
+
+let slot_name s =
+  Mutex.lock names_lock;
+  let n = Hashtbl.find_opt names s in
+  Mutex.unlock names_lock;
+  match n with Some n -> n | None -> Printf.sprintf "domain-%d" s

@@ -1,0 +1,32 @@
+(** Shared switches and per-domain identity for the observability layer.
+
+    Recording histograms costs a little even when nobody reads them, so
+    the whole layer sits behind one process-wide {!is_enabled} flag that
+    hot paths check first (a single atomic load).  Tracing has its own
+    flag in {!Trace}; the progress reporter its own in {!Progress}.
+
+    Every domain that records gets a small integer {e slot} — a stable
+    per-domain index used to shard histogram counts and to label trace
+    timelines — derived from the domain id (a few nanoseconds to read,
+    cheap enough for per-evaluation sampling ticks). *)
+
+val set_enabled : bool -> unit
+(** Master switch for histogram recording ([--stats] sets it). *)
+
+val is_enabled : unit -> bool
+
+val max_slots : int
+(** Number of distinct shard slots.  Slot assignment wraps past this
+    many domains, which only merges their shard counters — never a
+    correctness issue. *)
+
+val slot : unit -> int
+(** This domain's slot in [0, max_slots). *)
+
+val set_worker_name : string -> unit
+(** Label the calling domain's slot for trace timelines (the pool names
+    its workers ["worker-1"], ["worker-2"], …; the CLI names the calling
+    domain ["main"]). *)
+
+val slot_name : int -> string
+(** The label registered for a slot, or ["domain-<slot>"]. *)

@@ -1,0 +1,217 @@
+let default_buckets = 64
+let default_lo = 1e-9
+let ratio = sqrt 2.0
+
+type t = {
+  h_name : string;
+  sample : int;
+  lo : float;
+  n_buckets : int;
+  counts : int array array;  (* slot -> bucket -> count *)
+  sums : float array;
+  mins : float array;
+  maxs : float array;
+  totals : int array;
+  countdown : int array;     (* per-slot sampling countdown *)
+}
+
+let registry_lock = Mutex.create ()
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let make ~sample ~lo ~buckets name =
+  let slots = Control.max_slots in
+  { h_name = name;
+    sample = max 1 sample;
+    lo;
+    n_buckets = max 1 buckets;
+    counts = Array.init slots (fun _ -> Array.make (max 1 buckets) 0);
+    sums = Array.make slots 0.0;
+    mins = Array.make slots infinity;
+    maxs = Array.make slots neg_infinity;
+    totals = Array.make slots 0;
+    countdown = Array.make slots 1 }
+
+let create ?(sample = 1) ?(lo = default_lo) ?(buckets = default_buckets) name =
+  Mutex.lock registry_lock;
+  let h =
+    match Hashtbl.find_opt registry name with
+    | Some h -> h
+    | None ->
+      let h = make ~sample ~lo ~buckets name in
+      Hashtbl.add registry name h;
+      h
+  in
+  Mutex.unlock registry_lock;
+  h
+
+(* Bucket i holds v with lo * r^i <= v < lo * r^(i+1) (i >= 1); bucket 0
+   additionally absorbs everything <= lo.  log_r(x) = 2 * log2(x) for
+   r = sqrt 2. *)
+let bucket_of t v =
+  if not (v > t.lo) then 0
+  else begin
+    let i = int_of_float (2.0 *. Float.log2 (v /. t.lo)) in
+    if i < 0 then 0 else if i >= t.n_buckets then t.n_buckets - 1 else i
+  end
+
+let observe t v =
+  let s = Control.slot () in
+  let b = bucket_of t v in
+  t.counts.(s).(b) <- t.counts.(s).(b) + 1;
+  t.totals.(s) <- t.totals.(s) + 1;
+  t.sums.(s) <- t.sums.(s) +. v;
+  if v < t.mins.(s) then t.mins.(s) <- v;
+  if v > t.maxs.(s) then t.maxs.(s) <- v
+
+let tick t =
+  Control.is_enabled ()
+  && begin
+    let s = Control.slot () in
+    let c = t.countdown.(s) in
+    if c <= 1 then begin
+      t.countdown.(s) <- t.sample;
+      true
+    end
+    else begin
+      t.countdown.(s) <- c - 1;
+      false
+    end
+  end
+
+let time t f =
+  if tick t then begin
+    let t0 = Clock.now () in
+    match f () with
+    | v ->
+      observe t (Clock.now () -. t0);
+      v
+    | exception e ->
+      observe t (Clock.now () -. t0);
+      raise e
+  end
+  else f ()
+
+type snapshot = {
+  name : string;
+  sample : int;
+  lo : float;
+  count : int;
+  sum : float;
+  min_s : float;
+  max_s : float;
+  buckets : int array;
+}
+
+let snapshot t =
+  let buckets = Array.make t.n_buckets 0 in
+  let count = ref 0 in
+  let sum = ref 0.0 in
+  let min_s = ref infinity in
+  let max_s = ref neg_infinity in
+  for s = 0 to Control.max_slots - 1 do
+    let row = t.counts.(s) in
+    for b = 0 to t.n_buckets - 1 do
+      buckets.(b) <- buckets.(b) + row.(b)
+    done;
+    count := !count + t.totals.(s);
+    sum := !sum +. t.sums.(s);
+    if t.mins.(s) < !min_s then min_s := t.mins.(s);
+    if t.maxs.(s) > !max_s then max_s := t.maxs.(s)
+  done;
+  { name = t.h_name;
+    sample = t.sample;
+    lo = t.lo;
+    count = !count;
+    sum = !sum;
+    min_s = !min_s;
+    max_s = !max_s;
+    buckets }
+
+let bucket_bounds (s : snapshot) i =
+  let lower = if i = 0 then 0.0 else s.lo *. (ratio ** float_of_int i) in
+  let upper = s.lo *. (ratio ** float_of_int (i + 1)) in
+  (lower, upper)
+
+let merge (a : snapshot) (b : snapshot) =
+  if a.lo <> b.lo || Array.length a.buckets <> Array.length b.buckets then
+    invalid_arg "Histogram.merge: bucket layouts differ";
+  { name = a.name;
+    sample = a.sample;
+    lo = a.lo;
+    count = a.count + b.count;
+    sum = a.sum +. b.sum;
+    min_s = Float.min a.min_s b.min_s;
+    max_s = Float.max a.max_s b.max_s;
+    buckets = Array.mapi (fun i c -> c + b.buckets.(i)) a.buckets }
+
+let percentile (s : snapshot) p =
+  if s.count = 0 then 0.0
+  else begin
+    let p = Float.max 0.0 (Float.min 1.0 p) in
+    let target = p *. float_of_int s.count in
+    let n = Array.length s.buckets in
+    let result = ref s.max_s in
+    let cum = ref 0.0 in
+    (try
+       for i = 0 to n - 1 do
+         let c = float_of_int s.buckets.(i) in
+         if c > 0.0 && !cum +. c >= target then begin
+           let frac = (target -. !cum) /. c in
+           let lower, upper = bucket_bounds s i in
+           result := lower +. (frac *. (upper -. lower));
+           raise Exit
+         end;
+         cum := !cum +. c
+       done
+     with Exit -> ());
+    Float.max s.min_s (Float.min s.max_s !result)
+  end
+
+let mean (s : snapshot) =
+  if s.count = 0 then 0.0 else s.sum /. float_of_int s.count
+
+let snapshots () =
+  Mutex.lock registry_lock;
+  let hs = Hashtbl.fold (fun _ h acc -> h :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.sort
+    (fun (a : snapshot) b -> compare a.name b.name)
+    (List.map snapshot hs)
+
+let reset t =
+  for s = 0 to Control.max_slots - 1 do
+    Array.fill t.counts.(s) 0 t.n_buckets 0;
+    t.sums.(s) <- 0.0;
+    t.mins.(s) <- infinity;
+    t.maxs.(s) <- neg_infinity;
+    t.totals.(s) <- 0;
+    t.countdown.(s) <- 1
+  done
+
+let reset_all () =
+  Mutex.lock registry_lock;
+  let hs = Hashtbl.fold (fun _ h acc -> h :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.iter reset hs
+
+let pp_s v =
+  if v >= 1.0 then Printf.sprintf "%.2f s" v
+  else if v >= 1e-3 then Printf.sprintf "%.2f ms" (v *. 1e3)
+  else if v >= 1e-6 then Printf.sprintf "%.2f us" (v *. 1e6)
+  else Printf.sprintf "%.0f ns" (v *. 1e9)
+
+let print_report ?(channel = stdout) () =
+  let snaps = List.filter (fun s -> s.count > 0) (snapshots ()) in
+  if snaps <> [] then begin
+    Printf.fprintf channel "%-28s %9s %10s %10s %10s %10s %10s\n" "histogram"
+      "samples" "p50" "p90" "p99" "max" "mean";
+    List.iter
+      (fun s ->
+        Printf.fprintf channel "%-28s %9d %10s %10s %10s %10s %10s\n" s.name
+          s.count
+          (pp_s (percentile s 0.50))
+          (pp_s (percentile s 0.90))
+          (pp_s (percentile s 0.99))
+          (pp_s s.max_s) (pp_s (mean s)))
+      snaps
+  end

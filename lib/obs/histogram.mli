@@ -1,0 +1,85 @@
+(** Log-bucketed latency histograms, mergeable across domains.
+
+    64 buckets spaced by a factor of sqrt(2) from a 1 ns floor cover
+    1 ns to ~4.3 s — every latency in this codebase — with <= 21%
+    relative quantization error per bucket.  Counts are sharded per
+    domain slot ({!Control.slot}), so {!observe} touches only the
+    calling domain's own cache lines: no lock, no contention on the hot
+    path.  {!snapshot} merges the shards; snapshots of separately
+    recorded histograms {!merge} exactly (bucket counts add).
+
+    Hot call sites record {e sampled} latencies: {!tick} fires on every
+    [sample]-th call per slot, dividing the ~60 ns clock cost by the
+    sample factor while leaving percentile estimates unbiased for the
+    i.i.d.-ish latency streams measured here.  Recording is gated on
+    {!Control.is_enabled}; when disabled, {!tick} and {!time} cost one
+    atomic load.
+
+    Histograms register by name in a process registry (like
+    [Telemetry.counter]) so [--stats] and the bench harness can report
+    every site without threading handles. *)
+
+type t
+
+val default_buckets : int  (** 64 *)
+
+val default_lo : float  (** 1e-9 s: upper edge of bucket 0 is lo * sqrt 2 *)
+
+val create : ?sample:int -> ?lo:float -> ?buckets:int -> string -> t
+(** Get or create the histogram registered under this name (parameters
+    are only applied on first creation).  [sample] is the per-slot
+    sampling period of {!tick} / {!time} (default 1: every call). *)
+
+val observe : t -> float -> unit
+(** Record one latency (seconds) into the calling domain's shard.
+    Unconditional — callers gate on {!tick} or {!Control.is_enabled}. *)
+
+val tick : t -> bool
+(** [false] when recording is disabled or this call is not a sampling
+    point; [true] on every [sample]-th call per slot when enabled.  The
+    caller then times the operation and {!observe}s it. *)
+
+val time : t -> (unit -> 'a) -> 'a
+(** [time h f] runs [f], observing its latency when {!tick} fires.
+    Convenience form; allocates a closure, so prefer the explicit
+    {!tick}/{!observe} pattern on allocation-sensitive paths. *)
+
+val bucket_of : t -> float -> int
+(** Index of the bucket a value lands in (clamped to the range). *)
+
+type snapshot = {
+  name : string;
+  sample : int;       (** sampling period the histogram records at *)
+  lo : float;
+  count : int;        (** recorded observations (samples, not calls) *)
+  sum : float;
+  min_s : float;      (** +inf when empty *)
+  max_s : float;      (** -inf when empty *)
+  buckets : int array;
+}
+
+val snapshot : t -> snapshot
+(** Merge the per-slot shards.  Concurrent {!observe}s may tear a
+    snapshot by a count or two; quiesce recording for exact numbers. *)
+
+val bucket_bounds : snapshot -> int -> float * float
+(** [(lower, upper)] edges of a bucket; bucket 0's lower edge is 0. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Pointwise sum.  [Invalid_argument] when the bucket layouts differ. *)
+
+val percentile : snapshot -> float -> float
+(** [percentile s 0.99]: linear interpolation inside the covering
+    bucket, clamped to the observed [min_s, max_s]; monotone in the
+    requested fraction.  0 when empty. *)
+
+val mean : snapshot -> float
+
+val snapshots : unit -> snapshot list
+(** Every registered histogram, sorted by name. *)
+
+val reset : t -> unit
+val reset_all : unit -> unit
+
+val print_report : ?channel:out_channel -> unit -> unit
+(** Table of non-empty histograms: samples, p50/p90/p99, max, mean. *)

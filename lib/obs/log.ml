@@ -1,0 +1,59 @@
+type level = Quiet | Error | Warn | Info | Debug
+
+let severity = function
+  | Quiet -> -1
+  | Error -> 0
+  | Warn -> 1
+  | Info -> 2
+  | Debug -> 3
+
+let to_string = function
+  | Quiet -> "quiet"
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "quiet" | "off" | "none" -> Some Quiet
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let initial =
+  match Sys.getenv_opt "SRAM_OPT_LOG" with
+  | Some s -> (match of_string s with Some l -> l | None -> Warn)
+  | None -> Warn
+
+let current = Atomic.make initial
+
+let set_level l = Atomic.set current l
+let level () = Atomic.get current
+let enabled l = severity l <= severity (Atomic.get current)
+
+let lock = Mutex.create ()
+let channel = ref stderr
+
+let set_channel c =
+  Mutex.lock lock;
+  channel := c;
+  Mutex.unlock lock
+
+let t0 = Clock.now ()
+
+let emit l section msg =
+  Mutex.lock lock;
+  Printf.fprintf !channel "[%8.3f] %-5s %s: %s\n%!" (Clock.now () -. t0)
+    (to_string l) section msg;
+  Mutex.unlock lock
+
+let msg l ~section fmt =
+  Printf.ksprintf (fun s -> if enabled l then emit l section s) fmt
+
+let error ~section fmt = msg Error ~section fmt
+let warn ~section fmt = msg Warn ~section fmt
+let info ~section fmt = msg Info ~section fmt
+let debug ~section fmt = msg Debug ~section fmt

@@ -1,0 +1,61 @@
+let active_flag = Atomic.make false
+let total = Atomic.make 0
+let done_count = Atomic.make 0
+let pruned = Atomic.make 0
+let evals = Atomic.make 0
+let start_time = Atomic.make 0.0
+
+let ticker : unit Domain.t option ref = ref None
+let out = ref stderr
+
+let active () = Atomic.get active_flag
+
+let add_total n = if active () then ignore (Atomic.fetch_and_add total n)
+let add_done n = if active () then ignore (Atomic.fetch_and_add done_count n)
+let add_pruned n = if active () then ignore (Atomic.fetch_and_add pruned n)
+let add_evals n = if active () then ignore (Atomic.fetch_and_add evals n)
+
+let counts () =
+  (Atomic.get total, Atomic.get done_count, Atomic.get pruned, Atomic.get evals)
+
+let render () =
+  let t = Atomic.get total and d = Atomic.get done_count in
+  let p = Atomic.get pruned and e = Atomic.get evals in
+  let elapsed = Clock.now () -. Atomic.get start_time in
+  let rate = if elapsed > 0.0 then float_of_int e /. elapsed else 0.0 in
+  let eta =
+    if d > 0 && t > d then
+      Printf.sprintf "%.1fs"
+        (elapsed *. float_of_int (t - d) /. float_of_int d)
+    else "-"
+  in
+  Printf.sprintf "geometries %d/%d  pruned %d  %.0f evals/s  ETA %s" d t p
+    rate eta
+
+let start ?(interval = 0.25) ?channel () =
+  if not (Atomic.get active_flag) then begin
+    (match channel with Some c -> out := c | None -> out := stderr);
+    Atomic.set total 0;
+    Atomic.set done_count 0;
+    Atomic.set pruned 0;
+    Atomic.set evals 0;
+    Atomic.set start_time (Clock.now ());
+    Atomic.set active_flag true;
+    ticker :=
+      Some
+        (Domain.spawn (fun () ->
+             while Atomic.get active_flag do
+               Unix.sleepf interval;
+               if Atomic.get active_flag then
+                 (* \r repaint + erase-to-eol keeps one live line. *)
+                 Printf.fprintf !out "\r  %s\x1b[K%!" (render ())
+             done))
+  end
+
+let stop () =
+  if Atomic.get active_flag then begin
+    Atomic.set active_flag false;
+    (match !ticker with Some d -> Domain.join d | None -> ());
+    ticker := None;
+    Printf.fprintf !out "\r  %s\x1b[K\n%!" (render ())
+  end

@@ -1,0 +1,31 @@
+(** Live progress reporter for long sweeps.
+
+    The search layer bumps four process-wide counters (geometries total
+    / done / pruned, evaluations); a ticker domain repaints one stderr
+    status line every [interval] seconds with the counts, the
+    evaluation rate and an ETA extrapolated from the done fraction.
+
+    Off by default: when inactive, every [add_*] is a single atomic
+    load, and no ticker domain exists.  The CLI's [--progress] flag
+    turns it on around the command body.  Counters accumulate across
+    the searches of a sweep, so the ETA covers the whole run. *)
+
+val start : ?interval:float -> ?channel:out_channel -> unit -> unit
+(** Zero the counters and spawn the ticker (default: 0.25 s to
+    stderr).  No-op when already running. *)
+
+val stop : unit -> unit
+(** Stop and join the ticker, then print a final newline-terminated
+    status line.  No-op when not running. *)
+
+val active : unit -> bool
+
+val add_total : int -> unit
+(** More geometries discovered (a search announces its space). *)
+
+val add_done : int -> unit
+val add_pruned : int -> unit
+val add_evals : int -> unit
+
+val counts : unit -> int * int * int * int
+(** [(total, done, pruned, evals)] — for tests. *)

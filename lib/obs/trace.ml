@@ -1,0 +1,152 @@
+type phase = B | E | I
+
+type event = {
+  ev_name : string;
+  ev_phase : phase;
+  ev_ts : float;
+  ev_slot : int;
+}
+
+type buffer = {
+  buf_slot : int;
+  mutable buf_events : event array;
+  mutable buf_len : int;
+}
+
+let placeholder = { ev_name = ""; ev_phase = I; ev_ts = 0.0; ev_slot = 0 }
+
+let tracing = Atomic.make false
+let fine = Atomic.make true
+let t0 = Atomic.make 0.0
+
+let reg_lock = Mutex.create ()
+let buffers : buffer list ref = ref []
+
+(* One buffer per domain, created and registered on the domain's first
+   event.  Buffers of finished domains stay registered (their events are
+   still wanted at export time); a fresh [start] rewinds them all. *)
+let buffer_key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { buf_slot = Control.slot ();
+          buf_events = Array.make 1024 placeholder;
+          buf_len = 0 }
+      in
+      Mutex.lock reg_lock;
+      buffers := b :: !buffers;
+      Mutex.unlock reg_lock;
+      b)
+
+let push name phase =
+  let b = Domain.DLS.get buffer_key in
+  let cap = Array.length b.buf_events in
+  if b.buf_len = cap then begin
+    let bigger = Array.make (2 * cap) placeholder in
+    Array.blit b.buf_events 0 bigger 0 cap;
+    b.buf_events <- bigger
+  end;
+  b.buf_events.(b.buf_len) <-
+    { ev_name = name;
+      ev_phase = phase;
+      ev_ts = Clock.now () -. Atomic.get t0;
+      ev_slot = b.buf_slot };
+  b.buf_len <- b.buf_len + 1
+
+let active () = Atomic.get tracing
+let fine_active () = Atomic.get tracing && Atomic.get fine
+
+let with_span name f =
+  if not (Atomic.get tracing) then f ()
+  else begin
+    push name B;
+    match f () with
+    | v ->
+      push name E;
+      v
+    | exception e ->
+      push name E;
+      raise e
+  end
+
+let instant name = if Atomic.get tracing then push name I
+
+let start ?(detail = `Fine) () =
+  Mutex.lock reg_lock;
+  List.iter (fun b -> b.buf_len <- 0) !buffers;
+  Mutex.unlock reg_lock;
+  Atomic.set fine (match detail with `Fine -> true | `Coarse -> false);
+  Atomic.set t0 (Clock.now ());
+  Atomic.set tracing true
+
+let stop () = Atomic.set tracing false
+
+let events () =
+  Mutex.lock reg_lock;
+  let bufs = !buffers in
+  Mutex.unlock reg_lock;
+  let all =
+    List.concat_map
+      (fun b -> Array.to_list (Array.sub b.buf_events 0 b.buf_len))
+      bufs
+  in
+  (* Stable: per-buffer (= per-domain) event order is preserved for
+     equal timestamps, keeping B/E nesting valid per timeline. *)
+  List.stable_sort (fun a b -> compare a.ev_ts b.ev_ts) all
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_chrome_string () =
+  let evs = events () in
+  let slots =
+    List.sort_uniq compare (List.map (fun e -> e.ev_slot) evs)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  Buffer.add_string buf
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"sram-opt\"}}";
+  List.iter
+    (fun slot ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           slot
+           (escape (Control.slot_name slot))))
+    slots;
+  List.iter
+    (fun e ->
+      let ts = 1e6 *. e.ev_ts in
+      match e.ev_phase with
+      | B | E ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             ",{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":0,\"tid\":%d}"
+             (escape e.ev_name)
+             (match e.ev_phase with B -> "B" | _ -> "E")
+             ts e.ev_slot)
+      | I ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             ",{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":0,\"tid\":%d}"
+             (escape e.ev_name) ts e.ev_slot))
+    evs;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+let write path =
+  let n = List.length (events ()) in
+  let oc = open_out path in
+  output_string oc (to_chrome_string ());
+  output_char oc '\n';
+  close_out oc;
+  n

@@ -1,0 +1,52 @@
+(** Hierarchical spans with per-domain event buffers and a Chrome
+    trace-event exporter.
+
+    Each recording domain appends begin/end events into its own
+    growable buffer (registered once, under a mutex, at the domain's
+    first event) — the hot path is an array store plus one clock read,
+    with no shared lock.  Buffers are drained at export time into the
+    Chrome trace-event JSON format, one timeline (tid) per domain slot,
+    loadable in Perfetto or chrome://tracing.
+
+    Tracing is off by default; {!start} arms it.  [`Fine] detail also
+    enables the per-geometry spans the search layer guards with
+    {!fine_active} (tens of thousands of events per search); [`Coarse]
+    keeps only the structural spans (sweep / search / chunks /
+    characterization). *)
+
+type phase = B | E | I
+
+type event = {
+  ev_name : string;
+  ev_phase : phase;
+  ev_ts : float;  (** seconds since {!start} *)
+  ev_slot : int;  (** recording domain's {!Control.slot} *)
+}
+
+val start : ?detail:[ `Fine | `Coarse ] -> unit -> unit
+(** Clear all buffers and begin recording (default [`Fine]). *)
+
+val stop : unit -> unit
+(** Stop recording; buffered events stay available for {!write}. *)
+
+val active : unit -> bool
+
+val fine_active : unit -> bool
+(** Recording, and at [`Fine] detail — gates high-volume spans. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f]: wrap [f] in begin/end events when recording
+    (exception-safe); just [f ()] otherwise. *)
+
+val instant : string -> unit
+(** A zero-duration marker event. *)
+
+val events : unit -> event list
+(** All buffered events, sorted by timestamp (stable per domain). *)
+
+val to_chrome_string : unit -> string
+(** The buffered events as one Chrome trace-event JSON document, with
+    process/thread-name metadata per slot. *)
+
+val write : string -> int
+(** Write {!to_chrome_string} to a file; returns the event count. *)

@@ -52,8 +52,10 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
   let n_pruned = Atomic.make 0 in
   let count_evals n =
     ignore (Atomic.fetch_and_add n_evaluated n);
-    Runtime.Telemetry.add evals n
+    Runtime.Telemetry.add evals n;
+    Obs.Progress.add_evals n
   in
+  Obs.Progress.add_total (Array.length geometries);
   (* One task per geometry chunk: scan the vssc axis in order, keeping
      the first-best candidate (and, when asked, every candidate in
      evaluation order).  The chunked results are reduced in geometry
@@ -100,6 +102,7 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
         if prune then begin
           ignore (Atomic.fetch_and_add n_pruned 1);
           Runtime.Telemetry.incr pruned_scans;
+          Obs.Progress.add_pruned 1;
           (None, [])
         end
         else if keep_all then begin
@@ -143,6 +146,19 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
                 score = !best_score },
             [] )
         end
+  in
+  (* The per-geometry trace span is gated on [`Fine] detail: a full
+     Table 4 sweep scans ~10^4 geometries and per-geometry events would
+     dominate the trace buffer, so coarse traces keep only the
+     structural spans (sweep / search / pool chunks). *)
+  let eval_geometry g =
+    let r =
+      if Obs.Trace.fine_active () then
+        Obs.Trace.with_span "exhaustive.eval" (fun () -> eval_geometry g)
+      else eval_geometry g
+    in
+    Obs.Progress.add_done 1;
+    r
   in
   let per_geometry =
     Runtime.Telemetry.time "exhaustive.search" (fun () ->

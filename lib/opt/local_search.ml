@@ -27,6 +27,7 @@ let search ?(space = Space.default) ?(objective = Objective.Energy_delay_product
     invalid_arg "Local_search.search: empty geometry space";
   let evaluated = ref 0 in
   let pruned = ref 0 in
+  let evals_counter = Runtime.Telemetry.counter "local_search.search" in
   (* Assist-side work once per vssc level; geometry-side work memoized per
      distinct (n_r, N_pre, N_wr) visited — line scans revisit geometries
      constantly, so the staged records pay for themselves within one
@@ -66,6 +67,8 @@ let search ?(space = Space.default) ?(objective = Objective.Energy_delay_product
       Array_model.Array_eval.complete st prepared.(state.vssc_i)
     in
     incr evaluated;
+    Runtime.Telemetry.incr evals_counter;
+    Obs.Progress.add_evals 1;
     { Exhaustive.geometry = Array_model.Array_eval.staged_geometry st;
       assist = assists.(state.vssc_i);
       metrics;
@@ -148,12 +151,13 @@ let search ?(space = Space.default) ?(objective = Objective.Energy_delay_product
       n_wr_i = pick (Array.length space.Space.n_wr_values) 0.914107 }
   in
   let best = ref None in
-  for k = 0 to restarts - 1 do
-    let candidate = descend (start k) in
-    match !best with
-    | Some b when b.Exhaustive.score <= candidate.Exhaustive.score -> ()
-    | Some _ | None -> best := Some candidate
-  done;
+  Runtime.Telemetry.time "local_search.search" (fun () ->
+      for k = 0 to restarts - 1 do
+        let candidate = descend (start k) in
+        match !best with
+        | Some b when b.Exhaustive.score <= candidate.Exhaustive.score -> ()
+        | Some _ | None -> best := Some candidate
+      done);
   match !best with
   | None -> invalid_arg "Local_search.search: no candidates"
   | Some best ->

@@ -50,6 +50,10 @@ val stats : ('k, 'v) t -> stats
 val hit_rate : stats -> float
 (** hits / (hits + misses), or 0 when never consulted. *)
 
+val occupancy : stats -> float
+(** length / capacity — how full the cache is (1.0 = at capacity, so
+    eviction pressure; near 0 = oversized). *)
+
 val clear : ('k, 'v) t -> unit
 (** Drop every entry (statistics are kept). *)
 

@@ -43,7 +43,13 @@ let create ?jobs () =
       workers = [] }
   in
   if jobs > 1 then
-    t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker t));
+    t.workers <-
+      List.init (jobs - 1) (fun i ->
+          Domain.spawn (fun () ->
+              (* Label this domain's trace timeline (the caller
+                 participates as worker 0). *)
+              Obs.Control.set_worker_name (Printf.sprintf "worker-%d" (i + 1));
+              worker t ()));
   t
 
 let jobs t = t.jobs
@@ -75,11 +81,12 @@ let parmap ?chunk t f arr =
     let done_cond = Condition.create () in
     let run_chunk c () =
       let lo = c * chunk and hi = min (n - 1) (((c + 1) * chunk) - 1) in
-      (try
-         for i = lo to hi do
-           res.(i) <- Some (f arr.(i))
-         done
-       with e -> ignore (Atomic.compare_and_set error None (Some e)));
+      Obs.Trace.with_span "pool.chunk" (fun () ->
+          try
+            for i = lo to hi do
+              res.(i) <- Some (f arr.(i))
+            done
+          with e -> ignore (Atomic.compare_and_set error None (Some e)));
       if Atomic.fetch_and_add remaining (-1) = 1 then begin
         Mutex.lock done_lock;
         Condition.broadcast done_cond;

@@ -7,6 +7,10 @@
     [Array.map f] regardless of the job count or scheduling — parallel
     searches return exactly the design points the sequential code does.
 
+    Each worker domain registers with the observability layer at spawn
+    (a named [Obs] slot), so when tracing is on every worker shows up
+    as its own timeline with a span per executed chunk.
+
     Built on stdlib [Domain] / [Mutex] / [Condition] only. *)
 
 type t

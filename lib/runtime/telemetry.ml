@@ -1,10 +1,20 @@
 type counter = { c_name : string; cell : int Atomic.t }
 
-type span_state = { s_name : string; mutable s_calls : int; mutable s_total : float }
+type span_state = {
+  s_name : string;
+  mutable s_calls : int;
+  mutable s_total : float;
+  s_hist : Obs.Histogram.t;  (* per-call latency distribution *)
+}
 
 let lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 16
 let spans : (string, span_state) Hashtbl.t = Hashtbl.create 16
+
+(* Bumped by [reset]; a [time] span whose epoch is stale by the time it
+   completes was interrupted by a reset and is dropped, so it cannot
+   leak its pre-reset start time into the zeroed table. *)
+let epoch_cell = Atomic.make 0
 
 let counter name =
   Mutex.lock lock;
@@ -23,7 +33,7 @@ let add c n = ignore (Atomic.fetch_and_add c.cell n)
 let incr c = add c 1
 let value c = Atomic.get c.cell
 
-let now () = Unix.gettimeofday ()
+let now = Obs.Clock.now
 
 let span_state name =
   Mutex.lock lock;
@@ -31,7 +41,12 @@ let span_state name =
     match Hashtbl.find_opt spans name with
     | Some s -> s
     | None ->
-      let s = { s_name = name; s_calls = 0; s_total = 0.0 } in
+      let s =
+        { s_name = name;
+          s_calls = 0;
+          s_total = 0.0;
+          s_hist = Obs.Histogram.create name }
+      in
       Hashtbl.add spans name s;
       s
   in
@@ -44,16 +59,28 @@ let record_span s dt =
   s.s_total <- s.s_total +. dt;
   Mutex.unlock lock
 
+(* The one instrumentation point of the stack: every [time] site gets a
+   span total, a trace span when tracing, and a latency histogram when
+   observability is enabled. *)
 let time label f =
   let s = span_state label in
+  let e0 = Atomic.get epoch_cell in
   let t0 = now () in
-  match f () with
-  | v ->
-    record_span s (now () -. t0);
-    v
-  | exception e ->
-    record_span s (now () -. t0);
-    raise e
+  let finish () =
+    let dt = now () -. t0 in
+    if Atomic.get epoch_cell = e0 then begin
+      record_span s dt;
+      if Obs.Control.is_enabled () then Obs.Histogram.observe s.s_hist dt
+    end
+  in
+  Obs.Trace.with_span label (fun () ->
+      match f () with
+      | v ->
+        finish ();
+        v
+      | exception e ->
+        finish ();
+        raise e)
 
 type span = {
   span_name : string;
@@ -62,12 +89,16 @@ type span = {
 }
 
 type snapshot = {
+  epoch : int;
   counters : (string * int) list;
   spans : span list;
 }
 
+let epoch () = Atomic.get epoch_cell
+
 let snapshot () =
   Mutex.lock lock;
+  let e = Atomic.get epoch_cell in
   let cs =
     Hashtbl.fold (fun name c acc -> (name, Atomic.get c.cell) :: acc) counters []
   in
@@ -78,10 +109,12 @@ let snapshot () =
       spans []
   in
   Mutex.unlock lock;
-  { counters = List.sort compare cs;
+  { epoch = e;
+    counters = List.sort compare cs;
     spans = List.sort (fun a b -> compare a.span_name b.span_name) ss }
 
 let reset () =
+  ignore (Atomic.fetch_and_add epoch_cell 1);
   Mutex.lock lock;
   Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
   Hashtbl.iter

@@ -1,10 +1,17 @@
 (** Lightweight process-wide telemetry: named counters and timed spans.
 
     Counters are atomic (safe to bump from pool workers); spans
-    accumulate wall-clock time per label on the calling domain.  The
-    search layers record evaluation counts and per-phase times here;
-    the CLI's [--stats] flag and the bench harness read them back as
-    text or export them through [core/json_out].
+    accumulate monotonic wall time per label on the calling domain.
+    The search layers record evaluation counts and per-phase times
+    here; the CLI's [--stats] flag and the bench harness read them back
+    as text or export them through [core/json_out].
+
+    {!time} is also the stack's unified observability hook: besides the
+    span total, every call emits a trace span when [Obs.Trace] is
+    recording and a latency observation into the [Obs.Histogram]
+    registered under the span's name when observability is enabled —
+    so call sites need no extra plumbing to show up in [--trace] /
+    [--stats] percentiles.
 
     Conventions: a span and a counter may share a name (e.g.
     ["exhaustive.search"]); the report then derives a rate
@@ -21,11 +28,14 @@ val add : counter -> int -> unit
 val value : counter -> int
 
 val now : unit -> float
-(** Wall-clock seconds (monotonic enough for span accounting). *)
+(** Monotonic seconds ([Obs.Clock.now]): immune to wall-clock steps,
+    meaningful only as differences. *)
 
 val time : string -> (unit -> 'a) -> 'a
-(** [time label f] runs [f], adding its wall time to span [label]
-    (exceptions still account the elapsed time). *)
+(** [time label f] runs [f], adding its elapsed time to span [label]
+    (exceptions still account the elapsed time).  A span in flight
+    across a {!reset} is dropped rather than recorded against the
+    zeroed table. *)
 
 type span = {
   span_name : string;
@@ -34,14 +44,19 @@ type span = {
 }
 
 type snapshot = {
+  epoch : int;                     (** reset generation; see {!reset} *)
   counters : (string * int) list;  (** sorted by name *)
   spans : span list;               (** sorted by name *)
 }
 
 val snapshot : unit -> snapshot
 
+val epoch : unit -> int
+(** Current reset generation (starts at 0, +1 per {!reset}). *)
+
 val reset : unit -> unit
-(** Zero every counter and span. *)
+(** Zero every counter and span and bump the epoch, invalidating spans
+    currently in flight. *)
 
 val print_report : ?channel:out_channel -> unit -> unit
 (** Text dump of the snapshot: counters, spans, and derived rates for

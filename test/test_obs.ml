@@ -1,0 +1,459 @@
+(* Tests of the lib/obs observability subsystem: clock monotonicity,
+   histogram unit + QCheck properties (shard merge equals the whole,
+   percentile ordering, bucket roundtrip), trace span balance and Chrome
+   JSON well-formedness, telemetry epoch tagging across resets, the
+   leveled logger, the progress counters, and a determinism guard that
+   the instrumentation never changes which design the search picks. *)
+
+open Testutil
+
+let pool_of =
+  let pools = Hashtbl.create 4 in
+  fun jobs ->
+    match Hashtbl.find_opt pools jobs with
+    | Some p -> p
+    | None ->
+      let p = Runtime.Pool.create ~jobs () in
+      Hashtbl.add pools jobs p;
+      p
+
+(* Fresh registry names per call: [Histogram.create] is get-or-create,
+   so property iterations must not share state. *)
+let fresh_name =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Printf.sprintf "test.%s.%d" prefix !n
+
+(* ----- Clock ----- *)
+
+let clock_tests =
+  [ case "now is monotone non-decreasing" (fun () ->
+        let prev = ref (Obs.Clock.now ()) in
+        for i = 1 to 1000 do
+          let t = Obs.Clock.now () in
+          if t < !prev then
+            Alcotest.failf "clock went backwards at step %d: %.9f -> %.9f" i
+              !prev t;
+          prev := t
+        done);
+    case "now advances across a sleep" (fun () ->
+        let t0 = Obs.Clock.now () in
+        Unix.sleepf 0.01;
+        let dt = Obs.Clock.now () -. t0 in
+        check_within "10 ms sleep measured" ~lo:0.005 ~hi:5.0 dt) ]
+
+(* ----- Histogram ----- *)
+
+let histogram_tests =
+  [ case "snapshot accounting" (fun () ->
+        let h = Obs.Histogram.create (fresh_name "acct") in
+        List.iter (Obs.Histogram.observe h) [ 1e-6; 2e-6; 3e-6 ];
+        let s = Obs.Histogram.snapshot h in
+        Alcotest.(check int) "count" 3 s.Obs.Histogram.count;
+        check_close "sum" 6e-6 s.Obs.Histogram.sum;
+        check_close "min" 1e-6 s.Obs.Histogram.min_s;
+        check_close "max" 3e-6 s.Obs.Histogram.max_s;
+        check_close "mean" 2e-6 (Obs.Histogram.mean s);
+        Alcotest.(check int)
+          "bucket totals match count" 3
+          (Array.fold_left ( + ) 0 s.Obs.Histogram.buckets));
+    case "empty snapshot percentile is 0" (fun () ->
+        let h = Obs.Histogram.create (fresh_name "empty") in
+        let s = Obs.Histogram.snapshot h in
+        Alcotest.(check int) "count" 0 s.Obs.Histogram.count;
+        check_close_abs "p99" 0.0 (Obs.Histogram.percentile s 0.99));
+    case "create is get-or-create by name" (fun () ->
+        let name = fresh_name "shared" in
+        let a = Obs.Histogram.create name in
+        let b = Obs.Histogram.create name in
+        Obs.Histogram.observe a 1e-6;
+        Obs.Histogram.observe b 2e-6;
+        let s = Obs.Histogram.snapshot a in
+        Alcotest.(check int) "both observations landed" 2
+          s.Obs.Histogram.count);
+    case "merge rejects mismatched layouts" (fun () ->
+        let a = Obs.Histogram.create ~buckets:32 (fresh_name "m32") in
+        let b = Obs.Histogram.create ~buckets:64 (fresh_name "m64") in
+        Alcotest.check_raises "layout mismatch"
+          (Invalid_argument "Histogram.merge: bucket layouts differ")
+          (fun () ->
+            ignore
+              (Obs.Histogram.merge (Obs.Histogram.snapshot a)
+                 (Obs.Histogram.snapshot b))));
+    case "tick is gated on Control.is_enabled" (fun () ->
+        let h = Obs.Histogram.create ~sample:1 (fresh_name "gate") in
+        Obs.Control.set_enabled false;
+        for _ = 1 to 10 do
+          if Obs.Histogram.tick h then
+            Alcotest.fail "tick fired while disabled"
+        done;
+        Obs.Control.set_enabled true;
+        let fired = ref 0 in
+        for _ = 1 to 10 do
+          if Obs.Histogram.tick h then incr fired
+        done;
+        Obs.Control.set_enabled false;
+        Alcotest.(check int) "sample=1 fires every call" 10 !fired);
+    case "sampled tick fires once per period" (fun () ->
+        let h = Obs.Histogram.create ~sample:8 (fresh_name "period") in
+        Obs.Control.set_enabled true;
+        let fired = ref 0 in
+        for _ = 1 to 80 do
+          if Obs.Histogram.tick h then incr fired
+        done;
+        Obs.Control.set_enabled false;
+        Alcotest.(check int) "80 calls at sample=8" 10 !fired);
+    case "time observes and is exception-safe" (fun () ->
+        let h = Obs.Histogram.create ~sample:1 (fresh_name "time") in
+        Obs.Control.set_enabled true;
+        let v = Obs.Histogram.time h (fun () -> 42) in
+        Alcotest.(check int) "result" 42 v;
+        (try
+           ignore (Obs.Histogram.time h (fun () -> failwith "boom") : int);
+           Alcotest.fail "exception swallowed"
+         with Failure _ -> ());
+        Obs.Control.set_enabled false;
+        let s = Obs.Histogram.snapshot h in
+        Alcotest.(check int) "both runs observed" 2 s.Obs.Histogram.count) ]
+
+(* ----- Histogram QCheck properties ----- *)
+
+let to_alco = QCheck_alcotest.to_alcotest
+
+let latency_gen =
+  (* Spans the histogram's designed range: 1 ns floor to ~4 s ceiling. *)
+  QCheck.(map (fun x -> 2e-9 *. Float.exp2 (x *. 30.0)) (float_bound_inclusive 1.0))
+
+let latencies_gen = QCheck.(list_of_size (QCheck.Gen.int_range 1 200) latency_gen)
+
+let prop_merge_of_shards_equals_whole =
+  QCheck.Test.make ~name:"merge of two shards equals the whole" ~count:100
+    QCheck.(pair latencies_gen latencies_gen)
+    (fun (xs, ys) ->
+      let a = Obs.Histogram.create (fresh_name "shard_a") in
+      let b = Obs.Histogram.create (fresh_name "shard_b") in
+      let w = Obs.Histogram.create (fresh_name "whole") in
+      List.iter (Obs.Histogram.observe a) xs;
+      List.iter (Obs.Histogram.observe b) ys;
+      List.iter (Obs.Histogram.observe w) (xs @ ys);
+      let m =
+        Obs.Histogram.merge (Obs.Histogram.snapshot a)
+          (Obs.Histogram.snapshot b)
+      in
+      let s = Obs.Histogram.snapshot w in
+      (* Counts, extrema and bucket contents are exact; the sums differ
+         only by float association. *)
+      m.Obs.Histogram.count = s.Obs.Histogram.count
+      && m.Obs.Histogram.min_s = s.Obs.Histogram.min_s
+      && m.Obs.Histogram.max_s = s.Obs.Histogram.max_s
+      && m.Obs.Histogram.buckets = s.Obs.Histogram.buckets
+      && abs_float (m.Obs.Histogram.sum -. s.Obs.Histogram.sum)
+         <= 1e-9 *. s.Obs.Histogram.sum)
+
+let prop_percentiles_ordered =
+  QCheck.Test.make ~name:"p50 <= p90 <= p99, all within [min, max]" ~count:100
+    latencies_gen
+    (fun xs ->
+      let h = Obs.Histogram.create (fresh_name "pct") in
+      List.iter (Obs.Histogram.observe h) xs;
+      let s = Obs.Histogram.snapshot h in
+      let p50 = Obs.Histogram.percentile s 0.50 in
+      let p90 = Obs.Histogram.percentile s 0.90 in
+      let p99 = Obs.Histogram.percentile s 0.99 in
+      p50 <= p90 && p90 <= p99
+      && p50 >= s.Obs.Histogram.min_s
+      && p99 <= s.Obs.Histogram.max_s)
+
+let prop_bucket_roundtrip =
+  QCheck.Test.make ~name:"bucket_of v lands within bucket_bounds" ~count:200
+    latency_gen
+    (fun v ->
+      let h = Obs.Histogram.create (fresh_name "roundtrip") in
+      let i = Obs.Histogram.bucket_of h v in
+      let s = Obs.Histogram.snapshot h in
+      let lo, hi = Obs.Histogram.bucket_bounds s i in
+      (* 1 ulp of slack: bucket_of computes the index in log space while
+         bucket_bounds rebuilds the edges with powers. *)
+      v >= lo *. (1.0 -. 1e-12) && v <= hi *. (1.0 +. 1e-12))
+
+let histogram_property_tests =
+  [ to_alco prop_merge_of_shards_equals_whole;
+    to_alco prop_percentiles_ordered;
+    to_alco prop_bucket_roundtrip ]
+
+(* ----- Trace ----- *)
+
+(* Every B must close with an E on its own slot's timeline. *)
+let check_balanced events =
+  let stacks = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Obs.Trace.event) ->
+      let stack =
+        match Hashtbl.find_opt stacks e.Obs.Trace.ev_slot with
+        | Some s -> s
+        | None ->
+          let s = ref [] in
+          Hashtbl.add stacks e.Obs.Trace.ev_slot s;
+          s
+      in
+      match e.Obs.Trace.ev_phase with
+      | Obs.Trace.B -> stack := e.Obs.Trace.ev_name :: !stack
+      | Obs.Trace.E -> (
+        match !stack with
+        | top :: rest ->
+          Alcotest.(check string)
+            (Printf.sprintf "E matches B on slot %d" e.Obs.Trace.ev_slot)
+            top e.Obs.Trace.ev_name;
+          stack := rest
+        | [] ->
+          Alcotest.failf "E %S without B on slot %d" e.Obs.Trace.ev_name
+            e.Obs.Trace.ev_slot)
+      | Obs.Trace.I -> ())
+    events;
+  Hashtbl.iter
+    (fun slot stack ->
+      if !stack <> [] then
+        Alcotest.failf "unclosed span %S on slot %d" (List.hd !stack) slot)
+    stacks
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let trace_tests =
+  [ case "spans nest and balance" (fun () ->
+        Obs.Trace.start ();
+        Obs.Trace.with_span "outer" (fun () ->
+            Obs.Trace.with_span "inner" (fun () -> Obs.Trace.instant "mark"));
+        Obs.Trace.stop ();
+        let events = Obs.Trace.events () in
+        Alcotest.(check int) "2 B + 2 E + 1 I" 5 (List.length events);
+        check_balanced events);
+    case "with_span closes on exception" (fun () ->
+        Obs.Trace.start ();
+        (try
+           Obs.Trace.with_span "raiser" (fun () -> failwith "boom")
+         with Failure _ -> ());
+        Obs.Trace.stop ();
+        check_balanced (Obs.Trace.events ()));
+    case "no events recorded when stopped" (fun () ->
+        Obs.Trace.start ();
+        Obs.Trace.stop ();
+        Obs.Trace.with_span "ghost" (fun () -> ());
+        Alcotest.(check int) "buffer stays empty" 0
+          (List.length (Obs.Trace.events ())));
+    case "fine_active only under `Fine detail" (fun () ->
+        Obs.Trace.start ~detail:`Coarse ();
+        Alcotest.(check bool) "coarse: active" true (Obs.Trace.active ());
+        Alcotest.(check bool) "coarse: not fine" false (Obs.Trace.fine_active ());
+        Obs.Trace.stop ();
+        Obs.Trace.start ~detail:`Fine ();
+        Alcotest.(check bool) "fine: fine" true (Obs.Trace.fine_active ());
+        Obs.Trace.stop ());
+    case "chrome export is well-formed" (fun () ->
+        Obs.Trace.start ();
+        Obs.Trace.with_span "exported" (fun () -> ());
+        Obs.Trace.stop ();
+        let json = Obs.Trace.to_chrome_string () in
+        Alcotest.(check bool) "has traceEvents" true
+          (contains ~needle:"\"traceEvents\"" json);
+        Alcotest.(check bool) "names the process" true
+          (contains ~needle:"\"process_name\"" json);
+        Alcotest.(check bool) "names a thread" true
+          (contains ~needle:"\"thread_name\"" json);
+        Alcotest.(check bool) "has the span begin" true
+          (contains ~needle:"\"name\":\"exported\",\"ph\":\"B\"" json);
+        Alcotest.(check bool) "has the span end" true
+          (contains ~needle:"\"ph\":\"E\"" json);
+        Alcotest.(check bool) "single process id" false
+          (contains ~needle:"\"pid\":1" json));
+    case "parallel search produces balanced per-worker timelines" (fun () ->
+        let env =
+          Array_model.Array_eval.make_env ~cell_flavor:Finfet.Library.Hvt ()
+        in
+        Obs.Trace.start ~detail:`Fine ();
+        ignore
+          (Opt.Exhaustive.search ~space:Opt.Space.reduced ~pool:(pool_of 2)
+             ~env ~capacity_bits:(1024 * 8) ~method_:Opt.Space.M2 ());
+        Obs.Trace.stop ();
+        let events = Obs.Trace.events () in
+        check_balanced events;
+        let has name =
+          List.exists
+            (fun (e : Obs.Trace.event) -> e.Obs.Trace.ev_name = name)
+            events
+        in
+        Alcotest.(check bool) "exhaustive.search span" true
+          (has "exhaustive.search");
+        Alcotest.(check bool) "pool.chunk spans" true (has "pool.chunk");
+        Alcotest.(check bool) "per-geometry eval spans (fine)" true
+          (has "exhaustive.eval")) ]
+
+(* ----- Telemetry epochs ----- *)
+
+let telemetry_epoch_tests =
+  [ case "reset drops in-flight span completions" (fun () ->
+        Runtime.Telemetry.reset ();
+        let e0 = Runtime.Telemetry.epoch () in
+        let v =
+          Runtime.Telemetry.time "obs.epoch.probe" (fun () ->
+              Runtime.Telemetry.reset ();
+              42)
+        in
+        Alcotest.(check int) "result unaffected" 42 v;
+        Alcotest.(check bool) "epoch advanced" true
+          (Runtime.Telemetry.epoch () > e0);
+        let snap = Runtime.Telemetry.snapshot () in
+        List.iter
+          (fun (s : Runtime.Telemetry.span) ->
+            if s.Runtime.Telemetry.span_name = "obs.epoch.probe" then begin
+              Alcotest.(check int) "stale completion dropped" 0
+                s.Runtime.Telemetry.calls;
+              check_close_abs "no time recorded" 0.0
+                s.Runtime.Telemetry.total_s
+            end)
+          snap.Runtime.Telemetry.spans);
+    case "spans spanning no reset still record" (fun () ->
+        Runtime.Telemetry.reset ();
+        ignore (Runtime.Telemetry.time "obs.epoch.clean" (fun () -> 1));
+        let snap = Runtime.Telemetry.snapshot () in
+        let calls =
+          List.fold_left
+            (fun acc (s : Runtime.Telemetry.span) ->
+              if s.Runtime.Telemetry.span_name = "obs.epoch.clean" then
+                s.Runtime.Telemetry.calls
+              else acc)
+            0 snap.Runtime.Telemetry.spans
+        in
+        Alcotest.(check int) "recorded once" 1 calls) ]
+
+(* ----- Log ----- *)
+
+let with_log_capture level f =
+  let path = Filename.temp_file "sram_opt_log" ".txt" in
+  let oc = open_out path in
+  let saved = Obs.Log.level () in
+  Obs.Log.set_channel oc;
+  Obs.Log.set_level level;
+  f ();
+  Obs.Log.set_level saved;
+  Obs.Log.set_channel stderr;
+  close_out oc;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  text
+
+let log_tests =
+  [ case "of_string parses every level" (fun () ->
+        List.iter
+          (fun (s, expected) ->
+            match Obs.Log.of_string s with
+            | Some l ->
+              Alcotest.(check string) s (Obs.Log.to_string expected)
+                (Obs.Log.to_string l)
+            | None -> Alcotest.failf "failed to parse %S" s)
+          [ ("quiet", Obs.Log.Quiet); ("ERROR", Obs.Log.Error);
+            ("Warn", Obs.Log.Warn); ("info", Obs.Log.Info);
+            ("debug", Obs.Log.Debug) ];
+        Alcotest.(check bool) "garbage rejected" true
+          (Obs.Log.of_string "loud" = None));
+    case "messages below the level are suppressed" (fun () ->
+        let text =
+          with_log_capture Obs.Log.Warn (fun () ->
+              Obs.Log.warn ~section:"test" "kept %d" 1;
+              Obs.Log.info ~section:"test" "dropped %d" 2;
+              Obs.Log.debug ~section:"test" "dropped %d" 3)
+        in
+        Alcotest.(check bool) "warn kept" true (contains ~needle:"kept 1" text);
+        Alcotest.(check bool) "info dropped" false
+          (contains ~needle:"dropped" text));
+    case "lines carry level and section tags" (fun () ->
+        let text =
+          with_log_capture Obs.Log.Debug (fun () ->
+              Obs.Log.debug ~section:"framework" "cache miss")
+        in
+        Alcotest.(check bool) "level tag" true
+          (contains ~needle:"debug" text);
+        Alcotest.(check bool) "section tag" true
+          (contains ~needle:"framework: cache miss" text)) ]
+
+(* ----- Progress ----- *)
+
+let progress_tests =
+  [ case "counters are inert when inactive" (fun () ->
+        Alcotest.(check bool) "inactive" false (Obs.Progress.active ());
+        let t0, d0, p0, e0 = Obs.Progress.counts () in
+        Obs.Progress.add_total 5;
+        Obs.Progress.add_done 3;
+        Obs.Progress.add_pruned 2;
+        Obs.Progress.add_evals 100;
+        Alcotest.(check (list int)) "unchanged" [ t0; d0; p0; e0 ]
+          (let t, d, p, e = Obs.Progress.counts () in
+           [ t; d; p; e ]));
+    case "start/stop lifecycle counts work" (fun () ->
+        let devnull = open_out "/dev/null" in
+        Obs.Progress.start ~interval:0.01 ~channel:devnull ();
+        Alcotest.(check bool) "active" true (Obs.Progress.active ());
+        Obs.Progress.add_total 10;
+        Obs.Progress.add_done 4;
+        Obs.Progress.add_pruned 2;
+        Obs.Progress.add_evals 77;
+        let t, d, p, e = Obs.Progress.counts () in
+        Alcotest.(check (list int)) "counted" [ 10; 4; 2; 77 ] [ t; d; p; e ];
+        Unix.sleepf 0.03;
+        Obs.Progress.stop ();
+        close_out devnull;
+        Alcotest.(check bool) "inactive again" false (Obs.Progress.active ())) ]
+
+(* ----- Determinism guard ----- *)
+
+let determinism_tests =
+  [ slow_case "observability does not change the chosen design" (fun () ->
+        let env =
+          Array_model.Array_eval.make_env ~cell_flavor:Finfet.Library.Hvt ()
+        in
+        let search jobs =
+          Opt.Exhaustive.search ~space:Opt.Space.reduced ~pool:(pool_of jobs)
+            ~env ~capacity_bits:(1024 * 8) ~method_:Opt.Space.M2 ()
+        in
+        let fingerprint (r : Opt.Exhaustive.result) =
+          let b = r.Opt.Exhaustive.best in
+          let g = b.Opt.Exhaustive.geometry in
+          Printf.sprintf "%d/%d/%d/%d %.17g %.17g" g.Array_model.Geometry.nr
+            g.Array_model.Geometry.nc g.Array_model.Geometry.n_pre
+            g.Array_model.Geometry.n_wr
+            b.Opt.Exhaustive.assist.Array_model.Components.vssc
+            b.Opt.Exhaustive.score
+        in
+        List.iter
+          (fun jobs ->
+            let plain = fingerprint (search jobs) in
+            let devnull = open_out "/dev/null" in
+            Obs.Control.set_enabled true;
+            Obs.Trace.start ~detail:`Fine ();
+            Obs.Progress.start ~interval:0.01 ~channel:devnull ();
+            let instrumented = fingerprint (search jobs) in
+            Obs.Progress.stop ();
+            Obs.Trace.stop ();
+            Obs.Control.set_enabled false;
+            close_out devnull;
+            Alcotest.(check string)
+              (Printf.sprintf "identical design at jobs=%d" jobs)
+              plain instrumented)
+          [ 1; 2; 4 ]) ]
+
+let () =
+  Alcotest.run "obs"
+    [ ("clock", clock_tests);
+      ("histogram", histogram_tests);
+      ("histogram_properties", histogram_property_tests);
+      ("trace", trace_tests);
+      ("telemetry_epoch", telemetry_epoch_tests);
+      ("log", log_tests);
+      ("progress", progress_tests);
+      ("determinism", determinism_tests) ]
