@@ -1,21 +1,37 @@
 # Tier-1 verification: everything CI gates on.
-#   make check        build + unit/property tests + end-to-end smoke runs
-#   make bench        runtime scaling benchmark (writes BENCH_runtime.json)
-#   make bench-kernel staged-kernel benchmark (writes BENCH_kernel.json)
-#   make bench-smoke  staged-kernel benchmark, reduced space, no JSON
-#   make bench-obs    observability overhead benchmark (writes BENCH_obs.json)
+#   make check         build + unit/property tests + end-to-end smoke runs
+#   make check-tests   every test/test_*.ml must be wired into test/dune
+#   make bench         runtime scaling benchmark (writes BENCH_runtime.json)
+#   make bench-kernel  staged-kernel benchmark (writes BENCH_kernel.json)
+#   make bench-smoke   staged-kernel benchmark, reduced space, no JSON
+#   make bench-obs     observability overhead benchmark (writes BENCH_obs.json)
+#   make bench-persist checkpoint/resume bit-identity benchmark (BENCH_persist.json)
+#   make regen-golden  deliberately rewrite test/golden/* (review the diff!)
 
-.PHONY: all check test bench bench-kernel bench-smoke bench-obs clean
+.PHONY: all check check-tests test bench bench-kernel bench-smoke bench-obs \
+        bench-persist regen-golden clean
 
 all:
 	dune build
 
-check:
+check: check-tests
 	dune build
 	dune runtest
 	dune exec bench/main.exe -- headline --smoke
 	dune exec bench/main.exe -- kernel --smoke
 	dune exec bench/main.exe -- obs --smoke
+	dune exec bench/main.exe -- persist --smoke
+
+# A test file that exists but is missing from the dune test stanza is
+# silently never run; fail loudly instead.
+check-tests:
+	@missing=0; \
+	for f in test/test_*.ml; do \
+	  name=$$(basename $$f .ml); \
+	  grep -qw "$$name" test/dune || { \
+	    echo "ERROR: $$f is not listed in test/dune"; missing=1; }; \
+	done; \
+	[ $$missing -eq 0 ] && echo "check-tests: all test modules wired" || exit 1
 
 test:
 	dune runtest
@@ -31,6 +47,12 @@ bench-smoke:
 
 bench-obs:
 	dune exec bench/main.exe -- obs
+
+bench-persist:
+	dune exec bench/main.exe -- persist
+
+regen-golden:
+	dune exec test/regen_golden.exe -- test/golden
 
 clean:
 	dune clean

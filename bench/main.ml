@@ -812,26 +812,10 @@ let runtime_bench () =
 (* ----- staged-kernel benchmark ----- *)
 
 (* FNV-1a over the fields that define a chosen design: if two sweeps pick
-   the same designs bit-for-bit, their checksums match. *)
-let checksum_designs (results : Opt.Exhaustive.result list) =
-  let h = ref 0xcbf29ce484222325L in
-  let mix i64 = h := Int64.mul (Int64.logxor !h i64) 0x100000001b3L in
-  List.iter
-    (fun (r : Opt.Exhaustive.result) ->
-      let b = r.Opt.Exhaustive.best in
-      let g = b.Opt.Exhaustive.geometry in
-      mix (Int64.of_int g.Array_model.Geometry.nr);
-      mix (Int64.of_int g.Array_model.Geometry.nc);
-      mix (Int64.of_int g.Array_model.Geometry.n_pre);
-      mix (Int64.of_int g.Array_model.Geometry.n_wr);
-      mix
-        (Int64.bits_of_float
-           b.Opt.Exhaustive.assist.Array_model.Components.vssc);
-      mix (Int64.bits_of_float b.Opt.Exhaustive.score);
-      mix
-        (Int64.bits_of_float b.Opt.Exhaustive.metrics.Array_model.Array_eval.edp))
-    results;
-  Printf.sprintf "%016Lx" !h
+   the same designs bit-for-bit, their checksums match.  Shared with the
+   checkpoint tests, so the bench and the resume bit-identity gate agree
+   on what "identical" means. *)
+let checksum_designs = Opt.Exhaustive.checksum
 
 (* The Table 4 sweep through both evaluation kernels at 1/2/4 jobs:
    staged-vs-reference wall clock, evaluations skipped by the admissible
@@ -1157,6 +1141,162 @@ let obs_bench () =
   end;
   if not (pass && bit_identical) then exit 1
 
+(* ----- persistence benchmark ----- *)
+
+(* Two questions the persistence layer must answer for:
+     1. Does kill+resume reproduce the uninterrupted winner bit-for-bit
+        at 1/2/4 jobs?  (The tentpole guarantee: an injected kill mid-
+        sweep, then --resume, must land on the same checksum.)
+     2. What does journaling cost against the plain sweep?  (Reported;
+        the gate is the bit-identity, not the overhead.) *)
+let persist_bench () =
+  section "Persist: checkpoint journal overhead + kill/resume bit-identity";
+  Obs.Control.set_enabled true;
+  let space = if !smoke then Opt.Space.reduced else Opt.Space.default in
+  let capacities =
+    if !smoke then [ 1024 * 8 ] else Sram_edp.Framework.paper_capacities
+  in
+  let configs = Sram_edp.Framework.all_configs in
+  let env_of =
+    let lvt = Array_model.Array_eval.make_env ~cell_flavor:Finfet.Library.Lvt () in
+    let hvt = Array_model.Array_eval.make_env ~cell_flavor:Finfet.Library.Hvt () in
+    function Finfet.Library.Lvt -> lvt | Finfet.Library.Hvt -> hvt
+  in
+  let levels_of =
+    let lvt = Opt.Yield.solve ~flavor:Finfet.Library.Lvt () in
+    let hvt = Opt.Yield.solve ~flavor:Finfet.Library.Hvt () in
+    function Finfet.Library.Lvt -> lvt | Finfet.Library.Hvt -> hvt
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "sram_opt_bench_persist"
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let every = 16 in
+  let open_journal ?resume path =
+    match Persist.Checkpoint.create ~path ?resume ~checkpoint_every:every () with
+    | Ok j -> j
+    | Error e -> failwith e
+  in
+  let sweep ?journal ~pool () =
+    List.concat_map
+      (fun capacity_bits ->
+        List.map
+          (fun (c : Sram_edp.Framework.config) ->
+            Opt.Exhaustive.search ~space ?journal ~pool
+              ~levels:(levels_of c.Sram_edp.Framework.flavor)
+              ~env:(env_of c.Sram_edp.Framework.flavor) ~capacity_bits
+              ~method_:c.Sram_edp.Framework.method_ ())
+          configs)
+      capacities
+  in
+  let rows =
+    List.map
+      (fun jobs ->
+        Persist.Faults.disarm_all ();
+        let pool = Runtime.Pool.create ~jobs () in
+        let t0 = Runtime.Telemetry.now () in
+        let base = sweep ~pool () in
+        let plain_wall = Runtime.Telemetry.now () -. t0 in
+        let base_sum = checksum_designs base in
+        let jp = Filename.concat dir (Printf.sprintf "full_%dj.rlog" jobs) in
+        let journal = open_journal jp in
+        let t0 = Runtime.Telemetry.now () in
+        let journaled = sweep ~journal ~pool () in
+        let journal_wall = Runtime.Telemetry.now () -. t0 in
+        Persist.Checkpoint.close journal;
+        let journal_sum = checksum_designs journaled in
+        (* Kill the journaled sweep at an injected record boundary, then
+           resume from the journal it left behind. *)
+        let kp = Filename.concat dir (Printf.sprintf "kill_%dj.rlog" jobs) in
+        let killed = open_journal kp in
+        (* disarm_all also resets the process-wide record counter, so
+           "kill after record 3" counts from this sweep's first record,
+           not from the journaled run above. *)
+        Persist.Faults.disarm_all ();
+        Persist.Faults.arm (Persist.Faults.Kill 3);
+        let died =
+          match sweep ~journal:killed ~pool () with
+          | _ -> false
+          | exception Persist.Faults.Injected _ -> true
+        in
+        Persist.Checkpoint.close killed;
+        Persist.Faults.disarm_all ();
+        let resumed_journal = open_journal ~resume:true kp in
+        let replayed = Persist.Checkpoint.replayed resumed_journal in
+        let resumed = sweep ~journal:resumed_journal ~pool () in
+        Persist.Checkpoint.close resumed_journal;
+        let resumed_sum = checksum_designs resumed in
+        Runtime.Pool.shutdown pool;
+        Sys.remove jp;
+        Sys.remove kp;
+        (jobs, plain_wall, journal_wall, base_sum, journal_sum, resumed_sum,
+         died, replayed))
+      [ 1; 2; 4 ]
+  in
+  let table =
+    Sram_edp.Report.create
+      ~columns:
+        [ "jobs"; "plain"; "journaled"; "overhead"; "killed"; "replayed";
+          "bit-identical" ]
+  in
+  List.iter
+    (fun (jobs, pw, jw, bs, js, rs, died, replayed) ->
+      Sram_edp.Report.add_row table
+        [ string_of_int jobs;
+          Printf.sprintf "%.2f s" pw;
+          Printf.sprintf "%.2f s" jw;
+          Printf.sprintf "%+.1f%%" (100.0 *. ((jw /. pw) -. 1.0));
+          (if died then "yes" else "NO");
+          string_of_int replayed;
+          (if bs = js && bs = rs then "yes" else "NO") ])
+    rows;
+  Sram_edp.Report.print table;
+  let pass =
+    List.for_all
+      (fun (_, _, _, bs, js, rs, died, replayed) ->
+        bs = js && bs = rs && died && replayed > 0)
+      rows
+  in
+  Printf.printf
+    "kill/resume reproduces the uninterrupted winner at every job count: %s\n"
+    (if pass then "yes" else "NO");
+  if not !smoke then begin
+    let json =
+      Sram_edp.Json_out.Obj
+        [ ("benchmark", Sram_edp.Json_out.String "persist-checkpoint");
+          ("git_commit", Sram_edp.Json_out.String (git_commit ()));
+          ("host_cores",
+           Sram_edp.Json_out.Int (Domain.recommended_domain_count ()));
+          ("capacities_bits",
+           Sram_edp.Json_out.List
+             (List.map (fun c -> Sram_edp.Json_out.Int c) capacities));
+          ("checkpoint_every", Sram_edp.Json_out.Int every);
+          ("pass", Sram_edp.Json_out.Bool pass);
+          ("runs",
+           Sram_edp.Json_out.List
+             (List.map
+                (fun (jobs, pw, jw, bs, js, rs, died, replayed) ->
+                  Sram_edp.Json_out.Obj
+                    [ ("jobs", Sram_edp.Json_out.Int jobs);
+                      ("plain_wall_s", Sram_edp.Json_out.Float pw);
+                      ("journal_wall_s", Sram_edp.Json_out.Float jw);
+                      ("journal_overhead",
+                       Sram_edp.Json_out.Float ((jw /. pw) -. 1.0));
+                      ("killed", Sram_edp.Json_out.Bool died);
+                      ("chunks_replayed", Sram_edp.Json_out.Int replayed);
+                      ("checksum_plain", Sram_edp.Json_out.String bs);
+                      ("checksum_journaled", Sram_edp.Json_out.String js);
+                      ("checksum_resumed", Sram_edp.Json_out.String rs) ])
+                rows)) ]
+    in
+    let oc = open_out "BENCH_persist.json" in
+    output_string oc (Sram_edp.Json_out.to_string_pretty json);
+    output_char oc '\n';
+    close_out oc;
+    print_endline "wrote BENCH_persist.json"
+  end;
+  if not pass then exit 1
+
 (* ----- dispatch ----- *)
 
 let headline_smoke () =
@@ -1186,6 +1326,7 @@ let run_one = function
   | "runtime" -> runtime_bench ()
   | "kernel" -> kernel_bench ()
   | "obs" -> obs_bench ()
+  | "persist" -> persist_bench ()
   | "all" ->
     Sram_edp.Experiments.run_all ();
     ablations ();
@@ -1193,7 +1334,7 @@ let run_one = function
   | other ->
     Printf.eprintf
       "unknown experiment %S (try fig2a..fig7d, table4, headline, ablation, \
-       timing, runtime, kernel, obs, all)\n"
+       timing, runtime, kernel, obs, persist, all)\n"
       other;
     exit 1
 

@@ -140,12 +140,58 @@ let log_level_arg =
                  (default warn; the SRAM_OPT_LOG environment variable sets \
                  the same thing).")
 
+(* ----- persistence flags ----- *)
+
+type persist_opts = {
+  cache_dir : string option;
+  checkpoint : string option;
+  resume : bool;
+  checkpoint_every : int;
+}
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persist characterization and optimization results under \
+                 $(docv) (append-only record logs, one per cache) so repeat \
+                 runs replay instead of recomputing.  The directory is \
+                 created if missing.")
+
+let checkpoint_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Journal completed search chunks to $(docv) so an \
+                 interrupted sweep can be resumed with $(b,--resume).  \
+                 Without $(b,--resume) an existing journal is overwritten.")
+
+let resume_arg =
+  Arg.(value & flag
+       & info [ "resume" ]
+           ~doc:"Replay the $(b,--checkpoint) journal: completed chunks are \
+                 skipped and their stored winners folded back in; the final \
+                 result is bit-identical to an uninterrupted run at any \
+                 $(b,--jobs).")
+
+let checkpoint_every_arg =
+  Arg.(value & opt int 64
+       & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Geometries per checkpoint chunk (default 64).  Smaller \
+                 chunks lose less work on a crash but write more records; \
+                 a resumed journal must use the same value to match.")
+
+let persist_term =
+  let make cache_dir checkpoint resume checkpoint_every =
+    { cache_dir; checkpoint; resume; checkpoint_every }
+  in
+  Term.(const make $ cache_dir_arg $ checkpoint_arg $ resume_arg
+        $ checkpoint_every_arg)
+
 (* Configure the default pool and the observability layer before the
    command body, report/flush afterwards.  Every search entry point picks
    the default pool up, so --jobs needs no further plumbing; likewise the
    instrumentation sites read process-global [Obs] state. *)
 let with_runtime ?(trace = None) ?(progress = false) ?(log_level = None)
-    ~jobs ~stats f =
+    ?persist ~jobs ~stats f =
   (match log_level with
    | None -> ()
    | Some s ->
@@ -160,8 +206,33 @@ let with_runtime ?(trace = None) ?(progress = false) ?(log_level = None)
   if stats || trace <> None then Obs.Control.set_enabled true;
   if trace <> None then Obs.Trace.start ();
   if progress then Obs.Progress.start ();
+  Persist.Faults.load_env ();
+  (match persist with
+   | None -> ()
+   | Some p ->
+     Persist.Cache.set_dir p.cache_dir;
+     (match p.checkpoint with
+      | None -> ()
+      | Some path ->
+        (match
+           Persist.Checkpoint.create ~path ~resume:p.resume
+             ~checkpoint_every:p.checkpoint_every ()
+         with
+         | Ok j -> Persist.Checkpoint.set_default (Some j)
+         | Error msg ->
+           Printf.eprintf "sram_opt: %s\n" msg;
+           exit 2)));
+  let close_persist () =
+    (match Persist.Checkpoint.default () with
+     | Some j ->
+       (try Persist.Checkpoint.close j with _ -> ());
+       Persist.Checkpoint.set_default None
+     | None -> ());
+    if persist <> None then Persist.Cache.set_dir None
+  in
   let finish () =
     if progress then Obs.Progress.stop ();
+    close_persist ();
     match trace with
     | None -> ()
     | Some path ->
@@ -180,14 +251,16 @@ let with_runtime ?(trace = None) ?(progress = false) ?(log_level = None)
     result
   | exception e ->
     (* Stop the ticker domain so the exception reaches the user on a
-       clean line (and the process can exit). *)
+       clean line (and the process can exit).  The journal is closed
+       too — its completed chunks are what --resume replays. *)
     if progress then Obs.Progress.stop ();
+    close_persist ();
     raise e
 
 let optimize_cmd =
   let run capacity flavor method_ accounting json jobs stats trace progress
-      log_level =
-    with_runtime ~trace ~progress ~log_level ~jobs ~stats @@ fun () ->
+      log_level persist =
+    with_runtime ~trace ~progress ~log_level ~persist ~jobs ~stats @@ fun () ->
     let o =
       Sram_edp.Framework.optimize ~accounting ~capacity_bits:capacity
         ~config:{ Sram_edp.Framework.flavor; method_ } ()
@@ -216,11 +289,11 @@ let optimize_cmd =
   Cmd.v (Cmd.info "optimize" ~doc:"Co-optimize one SRAM array for minimum EDP")
     Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ accounting_arg
           $ json_flag $ jobs_arg $ stats_arg $ trace_arg $ progress_arg
-          $ log_level_arg)
+          $ log_level_arg $ persist_term)
 
 let sweep_cmd =
-  let run json jobs stats trace progress log_level =
-    with_runtime ~trace ~progress ~log_level ~jobs ~stats @@ fun () ->
+  let run json jobs stats trace progress log_level persist =
+    with_runtime ~trace ~progress ~log_level ~persist ~jobs ~stats @@ fun () ->
     if json then begin
       (* Evaluate the sweep before snapshotting the telemetry: list and
          [@] operands evaluate right-to-left in OCaml. *)
@@ -246,16 +319,16 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Regenerate Table 4 and Figure 7 across capacities")
     Term.(const run $ json_flag $ jobs_arg $ stats_arg $ trace_arg
-          $ progress_arg $ log_level_arg)
+          $ progress_arg $ log_level_arg $ persist_term)
 
 let experiments_cmd =
-  let run jobs stats trace progress log_level =
-    with_runtime ~trace ~progress ~log_level ~jobs ~stats
+  let run jobs stats trace progress log_level persist =
+    with_runtime ~trace ~progress ~log_level ~persist ~jobs ~stats
       Sram_edp.Experiments.run_all
   in
   Cmd.v (Cmd.info "experiments" ~doc:"Run the full paper-reproduction suite")
     Term.(const run $ jobs_arg $ stats_arg $ trace_arg $ progress_arg
-          $ log_level_arg)
+          $ log_level_arg $ persist_term)
 
 let margins_cmd =
   let run flavor vddc vssc vwl =
@@ -336,8 +409,9 @@ let assist_cmd =
     Term.(const run $ technique_arg)
 
 let anneal_cmd =
-  let run capacity flavor method_ seed jobs stats trace progress log_level =
-    with_runtime ~trace ~progress ~log_level ~jobs ~stats @@ fun () ->
+  let run capacity flavor method_ seed jobs stats trace progress log_level
+      persist =
+    with_runtime ~trace ~progress ~log_level ~persist ~jobs ~stats @@ fun () ->
     let env = Array_model.Array_eval.make_env ~cell_flavor:flavor () in
     let exhaustive =
       Opt.Exhaustive.search ~env ~capacity_bits:capacity ~method_ ()
@@ -355,12 +429,13 @@ let anneal_cmd =
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Annealing RNG seed.") in
   Cmd.v (Cmd.info "anneal" ~doc:"Compare simulated annealing against exhaustive search")
     Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ seed $ jobs_arg
-          $ stats_arg $ trace_arg $ progress_arg $ log_level_arg)
+          $ stats_arg $ trace_arg $ progress_arg $ log_level_arg
+          $ persist_term)
 
 let bank_cmd =
   let run capacity flavor method_ max_banks jobs stats trace progress
-      log_level =
-    with_runtime ~trace ~progress ~log_level ~jobs ~stats @@ fun () ->
+      log_level persist =
+    with_runtime ~trace ~progress ~log_level ~persist ~jobs ~stats @@ fun () ->
     let env = Array_model.Array_eval.make_env ~cell_flavor:flavor () in
     let best, all =
       Cache_model.Banked.optimize ~space:Opt.Space.reduced ~max_banks ~env
@@ -397,7 +472,8 @@ let bank_cmd =
     (Cmd.info "bank"
        ~doc:"Co-optimize the bank count on top of the array-level search")
     Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ max_banks
-          $ jobs_arg $ stats_arg $ trace_arg $ progress_arg $ log_level_arg)
+          $ jobs_arg $ stats_arg $ trace_arg $ progress_arg $ log_level_arg
+          $ persist_term)
 
 let retention_cmd =
   let run flavor =

@@ -56,6 +56,46 @@ type cache_key = {
 let cache : (cache_key, optimized) Runtime.Memo.t =
   Runtime.Memo.create ~name:"framework.optimize" ~capacity:256 ()
 
+(* Disk tier under --cache-dir: a full optimized design per key, so a
+   Table 4 sweep repeated across processes costs one replay.  The key
+   string spells out the whole canonical space grid (17 significant
+   digits per voltage) — no hashing, so distinct grids cannot collide. *)
+let disk_cache = Persist.Cache.create ~name:"framework.optimize" ()
+
+let disk_key (k : cache_key) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%s|cap=%d|%s|%s|w=%d|" (config_name k.k_config)
+       k.k_capacity
+       (Opt.Objective.name k.k_objective)
+       (match k.k_accounting with
+       | Array_model.Array_eval.Paper_strict -> "paper"
+       | Array_model.Array_eval.Physical -> "physical")
+       k.k_w);
+  List.iter (fun v -> Buffer.add_string b (Printf.sprintf "%.17g," v))
+    k.k_space.s_vssc;
+  Buffer.add_char b '|';
+  let ints xs = List.iter (fun v -> Buffer.add_string b (string_of_int v ^ ",")) xs in
+  ints k.k_space.s_nr;
+  Buffer.add_char b '|';
+  ints k.k_space.s_n_pre;
+  Buffer.add_char b '|';
+  ints k.k_space.s_n_wr;
+  Buffer.contents b
+
+let disk_load (k : cache_key) =
+  match Persist.Cache.find disk_cache (disk_key k) with
+  | None -> None
+  | Some j ->
+    Option.map
+      (fun result ->
+        { capacity_bits = k.k_capacity; config = k.k_config; result })
+      (Opt.Exhaustive.result_of_json j)
+
+let disk_store (k : cache_key) (o : optimized) =
+  Persist.Cache.add disk_cache (disk_key k)
+    (Opt.Exhaustive.result_to_json o.result)
+
 let env_cache :
   (Finfet.Library.flavor * Array_model.Array_eval.accounting,
    Array_model.Array_eval.env)
@@ -78,7 +118,8 @@ let optimize ?space ?(objective = Opt.Objective.Energy_delay_product)
   (* The key canonicalizes the space's contents, so custom-space runs
      (e.g. [headline ~space:Opt.Space.reduced], the benchmark's staple)
      memoize just like default-space ones. *)
-  Runtime.Memo.find_or_compute cache key (fun () ->
+  Runtime.Memo.find_or_compute_tiered cache key ~load:disk_load
+    ~store:disk_store (fun () ->
       Obs.Log.debug ~section:"framework"
         "optimize miss: %s %d bits — running exhaustive search"
         (config_name config) capacity_bits;

@@ -15,6 +15,8 @@ type result = {
 
 type kernel = [ `Staged | `Reference ]
 
+let kernel_name = function `Staged -> "staged" | `Reference -> "reference"
+
 (* Earlier-candidate-wins tie break: replace only on a strictly better
    score.  Identical to the sequential scan's [b.score <= score] guard. *)
 let better acc candidate =
@@ -23,12 +25,252 @@ let better acc candidate =
   | acc, None -> acc
   | Some a, Some c -> if c.score < a.score then Some c else Some a
 
+(* ----- FNV-1a checksum of chosen designs -----
+
+   Over the fields that define a chosen design: if two sweeps pick the
+   same designs bit-for-bit, their checksums match.  Deliberately
+   excludes [evaluated]/[pruned], which are timing-dependent under
+   parallelism while the winner is not. *)
+let checksum (results : result list) =
+  let h = ref 0xcbf29ce484222325L in
+  let mix i64 = h := Int64.mul (Int64.logxor !h i64) 0x100000001b3L in
+  List.iter
+    (fun r ->
+      let b = r.best in
+      let g = b.geometry in
+      mix (Int64.of_int g.Array_model.Geometry.nr);
+      mix (Int64.of_int g.Array_model.Geometry.nc);
+      mix (Int64.of_int g.Array_model.Geometry.n_pre);
+      mix (Int64.of_int g.Array_model.Geometry.n_wr);
+      mix (Int64.bits_of_float b.assist.Array_model.Components.vssc);
+      mix (Int64.bits_of_float b.score);
+      mix (Int64.bits_of_float b.metrics.Array_model.Array_eval.edp))
+    results;
+  Printf.sprintf "%016Lx" !h
+
+(* ----- JSON codecs (journal / disk-cache payloads) -----
+
+   Floats go through Persist.Json's %.17g representation, so a decoded
+   candidate is bit-identical to the one encoded — the property the
+   resume bit-identity guarantee needs. *)
+
+module J = Persist.Json
+
+let geometry_to_json (g : Array_model.Geometry.t) =
+  J.Obj
+    [
+      ("nr", J.Int g.Array_model.Geometry.nr);
+      ("nc", J.Int g.Array_model.Geometry.nc);
+      ("w", J.Int g.Array_model.Geometry.w);
+      ("n_pre", J.Int g.Array_model.Geometry.n_pre);
+      ("n_wr", J.Int g.Array_model.Geometry.n_wr);
+    ]
+
+let geometry_of_json j =
+  match
+    ( J.int_field j "nr",
+      J.int_field j "nc",
+      J.int_field j "w",
+      J.int_field j "n_pre",
+      J.int_field j "n_wr" )
+  with
+  | Some nr, Some nc, Some w, Some n_pre, Some n_wr -> (
+    try Some (Array_model.Geometry.create ~nr ~nc ~w ~n_pre ~n_wr ())
+    with Invalid_argument _ -> None)
+  | _ -> None
+
+let assist_to_json (a : Array_model.Components.assist) =
+  J.Obj
+    [
+      ("vddc", J.Float a.Array_model.Components.vddc);
+      ("vssc", J.Float a.Array_model.Components.vssc);
+      ("vwl", J.Float a.Array_model.Components.vwl);
+    ]
+
+let assist_of_json j =
+  match
+    (J.float_field j "vddc", J.float_field j "vssc", J.float_field j "vwl")
+  with
+  | Some vddc, Some vssc, Some vwl ->
+    Some { Array_model.Components.vddc; vssc; vwl }
+  | _ -> None
+
+let metrics_to_json (m : Array_model.Array_eval.metrics) =
+  let open Array_model.Array_eval in
+  J.Obj
+    [
+      ("d_read", J.Float m.d_read);
+      ("d_write", J.Float m.d_write);
+      ("d_array", J.Float m.d_array);
+      ("e_read", J.Float m.e_read);
+      ("e_write", J.Float m.e_write);
+      ("e_switching", J.Float m.e_switching);
+      ("e_leakage", J.Float m.e_leakage);
+      ("e_total", J.Float m.e_total);
+      ("edp", J.Float m.edp);
+      ("d_bl_read", J.Float m.d_bl_read);
+      ("d_row_path_read", J.Float m.d_row_path_read);
+      ("d_col_path", J.Float m.d_col_path);
+    ]
+
+let metrics_of_json j =
+  let f = J.float_field j in
+  match
+    ( (f "d_read", f "d_write", f "d_array", f "e_read", f "e_write"),
+      (f "e_switching", f "e_leakage", f "e_total", f "edp"),
+      (f "d_bl_read", f "d_row_path_read", f "d_col_path") )
+  with
+  | ( (Some d_read, Some d_write, Some d_array, Some e_read, Some e_write),
+      (Some e_switching, Some e_leakage, Some e_total, Some edp),
+      (Some d_bl_read, Some d_row_path_read, Some d_col_path) ) ->
+    Some
+      {
+        Array_model.Array_eval.d_read;
+        d_write;
+        d_array;
+        e_read;
+        e_write;
+        e_switching;
+        e_leakage;
+        e_total;
+        edp;
+        d_bl_read;
+        d_row_path_read;
+        d_col_path;
+      }
+  | _ -> None
+
+let candidate_to_json c =
+  J.Obj
+    [
+      ("geometry", geometry_to_json c.geometry);
+      ("assist", assist_to_json c.assist);
+      ("metrics", metrics_to_json c.metrics);
+      ("score", J.Float c.score);
+    ]
+
+let candidate_of_json j =
+  match
+    ( Option.bind (J.member "geometry" j) geometry_of_json,
+      Option.bind (J.member "assist" j) assist_of_json,
+      Option.bind (J.member "metrics" j) metrics_of_json,
+      J.float_field j "score" )
+  with
+  | Some geometry, Some assist, Some metrics, Some score ->
+    Some { geometry; assist; metrics; score }
+  | _ -> None
+
+let levels_to_json (l : Yield.levels) =
+  J.Obj
+    [
+      ("vddc_min", J.Float l.Yield.vddc_min);
+      ("vwl_min", J.Float l.Yield.vwl_min);
+      ("hsnm_nominal", J.Float l.Yield.hsnm_nominal);
+    ]
+
+let levels_of_json j =
+  match
+    ( J.float_field j "vddc_min",
+      J.float_field j "vwl_min",
+      J.float_field j "hsnm_nominal" )
+  with
+  | Some vddc_min, Some vwl_min, Some hsnm_nominal ->
+    Some { Yield.vddc_min; vwl_min; hsnm_nominal }
+  | _ -> None
+
+let pins_to_json (p : Space.pins) =
+  J.Obj
+    [
+      ("vddc", J.Float p.Space.vddc);
+      ("vwl", J.Float p.Space.vwl);
+      ("vssc_allowed", J.Bool p.Space.vssc_allowed);
+      ("extra_levels", J.Int p.Space.extra_levels);
+    ]
+
+let pins_of_json j =
+  match
+    ( J.float_field j "vddc",
+      J.float_field j "vwl",
+      Option.bind (J.member "vssc_allowed" j) J.to_bool,
+      J.int_field j "extra_levels" )
+  with
+  | Some vddc, Some vwl, Some vssc_allowed, Some extra_levels ->
+    Some { Space.vddc; vwl; vssc_allowed; extra_levels }
+  | _ -> None
+
+let result_to_json r =
+  J.Obj
+    [
+      ("best", candidate_to_json r.best);
+      ("evaluated", J.Int r.evaluated);
+      ("pruned", J.Int r.pruned);
+      ("levels", levels_to_json r.levels);
+      ("pins", pins_to_json r.pins);
+    ]
+
+let result_of_json j =
+  match
+    ( Option.bind (J.member "best" j) candidate_of_json,
+      J.int_field j "evaluated",
+      J.int_field j "pruned",
+      Option.bind (J.member "levels" j) levels_of_json,
+      Option.bind (J.member "pins" j) pins_of_json )
+  with
+  | Some best, Some evaluated, Some pruned, Some levels, Some pins ->
+    Some { best; evaluated; pruned; levels; pins }
+  | _ -> None
+
+(* ----- checkpoint task signature -----
+
+   Everything a chunk result depends on is folded into the signature,
+   so a journal written against different grids, pins, environment
+   knobs or chunking simply matches nothing and the sweep recomputes —
+   a stale journal can never corrupt a resumed run. *)
+let task_signature ~objective ~kernel ~(env : Array_model.Array_eval.env)
+    ~capacity_bits ~method_ ~every ~(geometries : Array_model.Geometry.t array)
+    ~(vssc_values : float array) ~(pins : Space.pins) =
+  let h = ref 0xcbf29ce484222325L in
+  let mix i64 = h := Int64.mul (Int64.logxor !h i64) 0x100000001b3L in
+  let mixi i = mix (Int64.of_int i) in
+  let mixf x = mix (Int64.bits_of_float x) in
+  mixi capacity_bits;
+  mixi every;
+  mixi (Array.length geometries);
+  Array.iter
+    (fun (g : Array_model.Geometry.t) ->
+      mixi g.Array_model.Geometry.nr;
+      mixi g.Array_model.Geometry.nc;
+      mixi g.Array_model.Geometry.w;
+      mixi g.Array_model.Geometry.n_pre;
+      mixi g.Array_model.Geometry.n_wr)
+    geometries;
+  Array.iter mixf vssc_values;
+  mixf pins.Space.vddc;
+  mixf pins.Space.vwl;
+  mixi (if pins.Space.vssc_allowed then 1 else 0);
+  mixi pins.Space.extra_levels;
+  mixf env.Array_model.Array_eval.alpha;
+  mixf env.Array_model.Array_eval.beta;
+  mixf env.Array_model.Array_eval.dcdc_overhead;
+  let accounting =
+    match env.Array_model.Array_eval.accounting with
+    | Array_model.Array_eval.Paper_strict -> "paper"
+    | Array_model.Array_eval.Physical -> "physical"
+  in
+  Printf.sprintf "search|%s|%s|%s|%s|%s|cap=%d|%016Lx"
+    (Objective.name objective) (kernel_name kernel)
+    (Finfet.Library.flavor_to_string env.Array_model.Array_eval.cell_flavor)
+    (Space.method_name method_) accounting capacity_bits !h
+
 let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
-    ?levels ?pool ?w ?(kernel = `Staged) ~env ~capacity_bits ~method_ ~keep_all
-    () =
+    ?levels ?pool ?w ?(kernel = `Staged) ?journal ~env ~capacity_bits ~method_
+    ~keep_all () =
   if not (Array_model.Geometry.is_power_of_two capacity_bits) then
     invalid_arg "Exhaustive.search: capacity must be a power of two";
   let pool = match pool with Some p -> p | None -> Runtime.Pool.default () in
+  let journal =
+    match journal with Some _ as j -> j | None -> Persist.Checkpoint.default ()
+  in
   let flavor = env.Array_model.Array_eval.cell_flavor in
   let levels =
     match levels with Some l -> l | None -> Yield.solve ~flavor ()
@@ -47,7 +289,8 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
   let nv = Array.length vssc_values in
   let assists = Array.map (fun vssc -> Space.assist_of pins ~vssc) vssc_values in
   (* Actual work counters (the old [geometries x vssc_values] product is
-     wrong once scans are pruned). *)
+     wrong once scans are pruned).  On a resumed run these count only
+     this process's work — replayed chunks contribute nothing. *)
   let n_evaluated = Atomic.make 0 in
   let n_pruned = Atomic.make 0 in
   let count_evals n =
@@ -56,6 +299,15 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
     Obs.Progress.add_evals n
   in
   Obs.Progress.add_total (Array.length geometries);
+  (* Workers publish each geometry's scan minimum — an actually achieved
+     score — and prune a later geometry only when its admissible lower
+     bound strictly exceeds a published score.  A pruned geometry's true
+     minimum is then strictly above the global minimum, so the winner
+     (and the earlier-geometry tie break) is the same as the unpruned
+     scan's for any job count; only the prune/eval counts are
+     timing-dependent.  Hoisted out of the kernel match so a resumed
+     run can seed it from journaled incumbents. *)
+  let incumbent = Runtime.Shared_min.create () in
   (* One task per geometry chunk: scan the vssc axis in order, keeping
      the first-best candidate (and, when asked, every candidate in
      evaluation order).  The chunked results are reduced in geometry
@@ -83,14 +335,6 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
     | `Staged ->
       let prepared = Array.map (Array_model.Array_eval.prepare env) assists in
       let envelope = Array_model.Array_eval.envelope prepared in
-      (* Workers publish each geometry's scan minimum — an actually
-         achieved score — and prune a later geometry only when its
-         admissible lower bound strictly exceeds a published score.  A
-         pruned geometry's true minimum is then strictly above the global
-         minimum, so the winner (and the earlier-geometry tie break) is
-         the same as the unpruned scan's for any job count; only the
-         prune/eval counts are timing-dependent. *)
-      let incumbent = Runtime.Shared_min.create () in
       fun geometry ->
         let st = Array_model.Array_eval.stage env geometry in
         let prune =
@@ -160,15 +404,79 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
     Obs.Progress.add_done 1;
     r
   in
-  let per_geometry =
-    Runtime.Telemetry.time "exhaustive.search" (fun () ->
-        Runtime.Pool.parmap pool eval_geometry geometries)
+  (* Journaled path: geometries are processed in fixed chunks of
+     [checkpoint_every]; each completed chunk is journaled with its
+     best candidate and the running incumbent.  On resume, completed
+     chunks are skipped and their stored winners folded back in.
+     Because chunk-major order equals geometry order and [better] is an
+     order-respecting left fold, the reduction over chunk bests is the
+     same fold as the flat per-geometry reduction — and the stored
+     candidates round-trip bit-exactly — so the final winner is
+     bit-identical to an uninterrupted run at any job count. *)
+  let run_chunked journal =
+    let every = Persist.Checkpoint.checkpoint_every journal in
+    let ngeom = Array.length geometries in
+    let n_chunks = (ngeom + every - 1) / every in
+    let task =
+      task_signature ~objective ~kernel ~env ~capacity_bits ~method_ ~every
+        ~geometries ~vssc_values ~pins
+    in
+    (* Seed the incumbent with every journaled chunk winner so pruning
+       starts warm; winner determinism never depends on this. *)
+    List.iter
+      (fun (_, data) ->
+        match Option.bind (J.member "best" data) candidate_of_json with
+        | Some c -> Runtime.Shared_min.publish incumbent c.score
+        | None -> ())
+      (Persist.Checkpoint.completed_for journal ~task);
+    let eval_chunk ci =
+      let lo = ci * every in
+      let hi = min ngeom ((ci + 1) * every) - 1 in
+      match Persist.Checkpoint.completed journal ~task ~chunk:ci with
+      | Some data ->
+        Obs.Progress.add_done (hi - lo + 1);
+        Option.bind (J.member "best" data) candidate_of_json
+      | None ->
+        let best = ref None in
+        for i = lo to hi do
+          best := better !best (fst (eval_geometry geometries.(i)))
+        done;
+        let incumbent_json =
+          let s = Runtime.Shared_min.get incumbent in
+          if Float.is_finite s then J.Float s else J.Null
+        in
+        Persist.Checkpoint.record journal ~task ~chunk:ci
+          (J.Obj
+             [
+               ( "best",
+                 match !best with
+                 | Some c -> candidate_to_json c
+                 | None -> J.Null );
+               ("incumbent", incumbent_json);
+               ("lo", J.Int lo);
+               ("hi", J.Int hi);
+             ]);
+        !best
+    in
+    Runtime.Pool.parmap ~chunk:1 pool eval_chunk
+      (Array.init n_chunks (fun i -> i))
   in
-  let best =
-    Array.fold_left (fun acc (b, _) -> better acc b) None per_geometry
-  in
-  let all =
-    if keep_all then List.concat_map snd (Array.to_list per_geometry) else []
+  let best, all =
+    match journal with
+    | Some journal when not keep_all ->
+      let chunk_bests =
+        Runtime.Telemetry.time "exhaustive.search" (fun () ->
+            run_chunked journal)
+      in
+      (Array.fold_left better None chunk_bests, [])
+    | _ ->
+      let per_geometry =
+        Runtime.Telemetry.time "exhaustive.search" (fun () ->
+            Runtime.Pool.parmap pool eval_geometry geometries)
+      in
+      ( Array.fold_left (fun acc (b, _) -> better acc b) None per_geometry,
+        if keep_all then List.concat_map snd (Array.to_list per_geometry)
+        else [] )
   in
   match best with
   | None -> invalid_arg "Exhaustive.search: no candidates"
@@ -180,11 +488,11 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
         pins },
       all )
 
-let search ?space ?objective ?levels ?pool ?w ?kernel ~env ~capacity_bits
-    ~method_ () =
+let search ?space ?objective ?levels ?pool ?w ?kernel ?journal ~env
+    ~capacity_bits ~method_ () =
   fst
-    (run ?space ?objective ?levels ?pool ?w ?kernel ~env ~capacity_bits
-       ~method_ ~keep_all:false ())
+    (run ?space ?objective ?levels ?pool ?w ?kernel ?journal ~env
+       ~capacity_bits ~method_ ~keep_all:false ())
 
 let search_all ?space ?objective ?levels ?pool ?w ?kernel ~env ~capacity_bits
     ~method_ () =

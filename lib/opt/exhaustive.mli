@@ -46,6 +46,7 @@ val search :
   ?pool:Runtime.Pool.t ->
   ?w:int ->
   ?kernel:kernel ->
+  ?journal:Persist.Checkpoint.t ->
   env:Array_model.Array_eval.env ->
   capacity_bits:int ->
   method_:Space.method_ ->
@@ -60,6 +61,15 @@ val search :
     winner, tie-breaking and all — bit-identical to the sequential scan
     for any job count.  [kernel] selects the evaluation path (default
     [`Staged]).
+
+    [journal] (default {!Persist.Checkpoint.default}, i.e. the CLI's
+    [--checkpoint] file when set) switches the sweep to fixed chunks of
+    [checkpoint_every] geometries, journaling each completed chunk's
+    winner.  A resumed journal skips completed chunks and folds their
+    stored winners back in; because the chunked reduction is the same
+    order-respecting fold as the flat one and candidates round-trip
+    through JSON bit-exactly, the resumed winner is bit-identical to an
+    uninterrupted run's at any [--jobs] (see DESIGN.md §8).
     @raise Invalid_argument if the capacity is not a power of two or no
     geometry candidate exists. *)
 
@@ -78,5 +88,28 @@ val search_all :
 (** As {!search} but also returns every evaluated candidate (input to
     Pareto-front extraction and ablations).  Never prunes — the full
     candidate list is the contract — so [result.pruned] is 0 and
-    [result.evaluated] covers the whole space.  Memory: one record per
-    design point. *)
+    [result.evaluated] covers the whole space.  Never journals (the
+    full candidate list is too large to checkpoint usefully).  Memory:
+    one record per design point. *)
+
+(** {2 Checksums and codecs}
+
+    Shared by the bench harness, the checkpoint journal and the
+    framework disk cache. *)
+
+val checksum : result list -> string
+(** FNV-1a 64-bit hex digest over each chosen design's geometry, vssc,
+    score and EDP bits.  Excludes [evaluated]/[pruned] (timing-dependent
+    under parallelism).  Two sweeps that pick the same designs
+    bit-for-bit produce equal checksums. *)
+
+val candidate_to_json : candidate -> Persist.Json.t
+val candidate_of_json : Persist.Json.t -> candidate option
+(** Bit-exact round-trip: floats are emitted with 17 significant
+    digits, so [candidate_of_json (candidate_to_json c) = Some c]
+    including every float bit. *)
+
+val result_to_json : result -> Persist.Json.t
+val result_of_json : Persist.Json.t -> result option
+val levels_to_json : Yield.levels -> Persist.Json.t
+val levels_of_json : Persist.Json.t -> Yield.levels option

@@ -6,9 +6,13 @@ type state = {
 }
 
 let search ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
-    ?levels ?(restarts = 4) ?(w = 64) ~env ~capacity_bits ~method_ () =
+    ?levels ?(restarts = 4) ?(w = 64) ?journal ~env ~capacity_bits ~method_ ()
+    =
   if not (Array_model.Geometry.is_power_of_two capacity_bits) then
     invalid_arg "Local_search.search: capacity must be a power of two";
+  let journal =
+    match journal with Some _ as j -> j | None -> Persist.Checkpoint.default ()
+  in
   let flavor = env.Array_model.Array_eval.cell_flavor in
   let levels = match levels with Some l -> l | None -> Yield.solve ~flavor () in
   let pins = Space.pins_for method_ levels in
@@ -150,10 +154,79 @@ let search ?(space = Space.default) ?(objective = Objective.Energy_delay_product
       n_pre_i = pick (Array.length space.Space.n_pre_values) 0.362547;
       n_wr_i = pick (Array.length space.Space.n_wr_values) 0.914107 }
   in
+  (* Each restart is one checkpoint chunk: the descent from a fixed
+     start is fully deterministic and sequential, so its winning
+     candidate and its evaluated/pruned deltas replay exactly.  The
+     task signature folds in everything the descent depends on, so a
+     stale journal matches nothing and the restart recomputes. *)
+  let task =
+    let h = ref 0xcbf29ce484222325L in
+    let mix i64 = h := Int64.mul (Int64.logxor !h i64) 0x100000001b3L in
+    let mixi i = mix (Int64.of_int i) in
+    let mixf x = mix (Int64.bits_of_float x) in
+    mixi capacity_bits;
+    mixi w;
+    Array.iter mixf vssc_values;
+    Array.iter mixi nr_values;
+    Array.iter mixi space.Space.n_pre_values;
+    Array.iter mixi space.Space.n_wr_values;
+    mixf pins.Space.vddc;
+    mixf pins.Space.vwl;
+    mixi (if pins.Space.vssc_allowed then 1 else 0);
+    mixf env.Array_model.Array_eval.alpha;
+    mixf env.Array_model.Array_eval.beta;
+    mixf env.Array_model.Array_eval.dcdc_overhead;
+    let accounting =
+      match env.Array_model.Array_eval.accounting with
+      | Array_model.Array_eval.Paper_strict -> "paper"
+      | Array_model.Array_eval.Physical -> "physical"
+    in
+    Printf.sprintf "local|%s|%s|%s|%s|cap=%d|%016Lx"
+      (Objective.name objective)
+      (Finfet.Library.flavor_to_string flavor)
+      (Space.method_name method_) accounting capacity_bits !h
+  in
+  let module J = Persist.Json in
+  let restart k =
+    let replayed =
+      match journal with
+      | None -> None
+      | Some jr -> (
+        match Persist.Checkpoint.completed jr ~task ~chunk:k with
+        | None -> None
+        | Some data -> (
+          match
+            ( Option.bind (J.member "best" data) Exhaustive.candidate_of_json,
+              J.int_field data "evaluated",
+              J.int_field data "pruned" )
+          with
+          | Some c, Some ev, Some pr ->
+            evaluated := !evaluated + ev;
+            pruned := !pruned + pr;
+            Some c
+          | _ -> None))
+    in
+    match replayed with
+    | Some c -> c
+    | None ->
+      let ev0 = !evaluated and pr0 = !pruned in
+      let candidate = descend (start k) in
+      (match journal with
+      | Some jr ->
+        Persist.Checkpoint.record jr ~task ~chunk:k
+          (J.Obj
+             [
+               ("best", Exhaustive.candidate_to_json candidate);
+               ("evaluated", J.Int (!evaluated - ev0));
+               ("pruned", J.Int (!pruned - pr0));
+             ])
+      | None -> ());
+      candidate
+  in
   let best = ref None in
   Runtime.Telemetry.time "local_search.search" (fun () ->
       for k = 0 to restarts - 1 do
-        let candidate = descend (start k) in
+        let candidate = restart k in
         match !best with
         | Some b when b.Exhaustive.score <= candidate.Exhaustive.score -> ()
         | Some _ | None -> best := Some candidate

@@ -14,6 +14,7 @@ val search :
   ?levels:Yield.levels ->
   ?restarts:int ->
   ?w:int ->
+  ?journal:Persist.Checkpoint.t ->
   env:Array_model.Array_eval.env ->
   capacity_bits:int ->
   method_:Space.method_ ->
@@ -25,4 +26,11 @@ val search :
     V_SSC line whose admissible bound cannot strictly beat the incumbent
     is skipped whole ([result.pruned] counts skipped lines); the descent
     visits and accepts exactly the same states as the unpruned
-    procedure. *)
+    procedure.
+
+    [journal] (default {!Persist.Checkpoint.default}) checkpoints each
+    completed restart — the descent from a fixed start is deterministic
+    and sequential, so a resumed run replays the journaled restarts
+    (candidate and evaluated/pruned deltas included) and recomputes
+    only the missing ones, reproducing the uninterrupted result
+    exactly. *)

@@ -58,9 +58,43 @@ let solve_uncached ?(delta = Finfet.Tech.min_margin) ?(points = 81) ?corner
   let hsnm_nominal = Sram_cell.Margins.hold_snm ~points ~cell vdd in
   { vddc_min; vwl_min; hsnm_nominal }
 
+(* Disk tier (inactive until the CLI sets --cache-dir): yield pins are
+   pure functions of the key, so they persist across processes. *)
+let disk_cache = Persist.Cache.create ~name:"yield.solve" ()
+
+let disk_key (flavor, delta, points, corner, celsius) =
+  Printf.sprintf "%s|%.17g|%d|%s|%s"
+    (Finfet.Library.flavor_to_string flavor)
+    delta points
+    (match corner with None -> "-" | Some c -> Finfet.Corners.name c)
+    (match celsius with None -> "-" | Some t -> Printf.sprintf "%.17g" t)
+
+let levels_to_json l =
+  Persist.Json.Obj
+    [
+      ("vddc_min", Persist.Json.Float l.vddc_min);
+      ("vwl_min", Persist.Json.Float l.vwl_min);
+      ("hsnm_nominal", Persist.Json.Float l.hsnm_nominal);
+    ]
+
+let levels_of_json j =
+  match
+    ( Persist.Json.float_field j "vddc_min",
+      Persist.Json.float_field j "vwl_min",
+      Persist.Json.float_field j "hsnm_nominal" )
+  with
+  | Some vddc_min, Some vwl_min, Some hsnm_nominal ->
+    Some { vddc_min; vwl_min; hsnm_nominal }
+  | _ -> None
+
 let solve ?(delta = Finfet.Tech.min_margin) ?(points = 81) ?corner ?celsius
     ~flavor () =
-  Runtime.Memo.find_or_compute solve_cache (flavor, delta, points, corner, celsius)
+  Runtime.Memo.find_or_compute_tiered solve_cache
+    (flavor, delta, points, corner, celsius)
+    ~load:(fun key ->
+      Option.bind (Persist.Cache.find disk_cache (disk_key key)) levels_of_json)
+    ~store:(fun key levels ->
+      Persist.Cache.add disk_cache (disk_key key) (levels_to_json levels))
     (fun () ->
       Runtime.Telemetry.time "yield.solve" (fun () ->
           solve_uncached ~delta ~points ?corner ?celsius ~flavor ()))

@@ -1,0 +1,151 @@
+(* On-disk cache tier backing Runtime.Memo.
+
+   Each named cache is one record log <dir>/<name>.rlog of
+   {"k":key,"v":value} records, replayed into a Hashtbl on open (later
+   records win, so re-stores are harmless).  Handles are registered at
+   module-init time and stay inactive (pure pass-through) until the CLI
+   calls [set_dir]; this mirrors the ambient Pool.set_default_jobs
+   idiom so call sites never thread a cache directory around.
+
+   Write failures degrade the cache to memory-only with a warning —
+   a full disk must never kill a sweep that would succeed without the
+   cache. *)
+
+type t = {
+  name : string;
+  table : (string, Json.t) Hashtbl.t;
+  mutable log : Record_log.t option;
+  mutable appended : int;
+  mutable degraded : bool;
+  lock : Mutex.t;
+}
+
+let c_hit = Runtime.Telemetry.counter "persist.cache.hit"
+let c_miss = Runtime.Telemetry.counter "persist.cache.miss"
+let c_store = Runtime.Telemetry.counter "persist.cache.store"
+
+let registry : t list ref = ref []
+let registry_lock = Mutex.create ()
+let active_dir : string option ref = ref None
+
+let create ~name () =
+  let t =
+    {
+      name;
+      table = Hashtbl.create 64;
+      log = None;
+      appended = 0;
+      degraded = false;
+      lock = Mutex.create ();
+    }
+  in
+  Mutex.protect registry_lock (fun () -> registry := t :: !registry);
+  t
+
+let schema_of t = "cache/" ^ t.name
+
+let entry_of_record j =
+  match (Json.member "k" j, Json.member "v" j) with
+  | Some (Json.String k), Some v -> Some (k, v)
+  | _ -> None
+
+let record_of_entry k v = Json.Obj [ ("k", Json.String k); ("v", v) ]
+
+let close_log t =
+  match t.log with
+  | Some log ->
+    (try Record_log.close log with _ -> ());
+    t.log <- None
+  | None -> ()
+
+let open_in_dir t dir =
+  Mutex.protect t.lock (fun () ->
+      close_log t;
+      Hashtbl.reset t.table;
+      t.appended <- 0;
+      t.degraded <- false;
+      let path = Filename.concat dir (t.name ^ ".rlog") in
+      match Record_log.open_append ~path ~schema:(schema_of t) () with
+      | Error msg ->
+        Obs.Log.warn ~section:"persist" "cache %s: %s; starting fresh" t.name
+          msg;
+        (try Sys.remove path with _ -> ());
+        (match Record_log.open_append ~path ~schema:(schema_of t) () with
+        | Ok (log, _) -> t.log <- Some log
+        | Error msg ->
+          t.degraded <- true;
+          Obs.Log.warn ~section:"persist" "cache %s unusable: %s" t.name msg)
+      | Ok (log, records) ->
+        List.iter
+          (fun r ->
+            match entry_of_record r with
+            | Some (k, v) -> Hashtbl.replace t.table k v
+            | None -> ())
+          records;
+        let distinct = Hashtbl.length t.table in
+        let replayed = List.length records in
+        (* Compact when the log carries heavy duplication: rewrite the
+           distinct entries atomically and reopen. *)
+        if replayed > 64 && replayed > 2 * distinct then begin
+          Record_log.close log;
+          let entries =
+            Hashtbl.fold (fun k v acc -> record_of_entry k v :: acc) t.table []
+          in
+          Record_log.write_snapshot ~path ~schema:(schema_of t) entries;
+          match Record_log.open_append ~path ~schema:(schema_of t) () with
+          | Ok (log, _) -> t.log <- Some log
+          | Error msg ->
+            t.degraded <- true;
+            Obs.Log.warn ~section:"persist"
+              "cache %s: reopen after compaction failed: %s" t.name msg
+        end
+        else t.log <- Some log)
+
+let set_dir dir =
+  let all = Mutex.protect registry_lock (fun () -> !registry) in
+  active_dir := dir;
+  match dir with
+  | None -> List.iter (fun t -> Mutex.protect t.lock (fun () -> close_log t)) all
+  | Some d ->
+    if not (Sys.file_exists d) then
+      (try Unix.mkdir d 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    List.iter (fun t -> open_in_dir t d) all
+
+let dir () = !active_dir
+
+let active t = Mutex.protect t.lock (fun () -> t.log <> None)
+
+let find t key =
+  Mutex.protect t.lock (fun () ->
+      if t.log = None then None
+      else
+        match Hashtbl.find_opt t.table key with
+        | Some v ->
+          Runtime.Telemetry.incr c_hit;
+          Some v
+        | None ->
+          Runtime.Telemetry.incr c_miss;
+          None)
+
+let add t key value =
+  Mutex.protect t.lock (fun () ->
+      match t.log with
+      | None -> ()
+      | Some log ->
+        Hashtbl.replace t.table key value;
+        Runtime.Telemetry.incr c_store;
+        (try Record_log.append log (record_of_entry key value)
+         with Sys_error msg ->
+           if not t.degraded then begin
+             t.degraded <- true;
+             Obs.Log.warn ~section:"persist"
+               "cache %s: write failed (%s); continuing memory-only" t.name msg
+           end))
+
+let sync t =
+  Mutex.protect t.lock (fun () ->
+      match t.log with Some log -> Record_log.sync log | None -> ())
+
+let size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
+let name t = t.name

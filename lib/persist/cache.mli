@@ -1,0 +1,33 @@
+(** Named on-disk caches backing [Runtime.Memo] (the disk tier of
+    [Memo.find_or_compute_tiered]).
+
+    Handles are created once at module-init time and stay inactive —
+    [find] returns [None], [add] is a no-op — until [set_dir] points
+    the layer at a directory (the CLI's [--cache-dir]).  Each cache
+    then lives in [<dir>/<name>.rlog], replayed on open and compacted
+    when duplication gets heavy.  Keys are strings built by the caller;
+    values are JSON.  Write failures (e.g. ENOSPC) degrade the cache to
+    memory-only with a warning rather than failing the computation. *)
+
+type t
+
+val create : name:string -> unit -> t
+(** Registers a cache handle.  [name] becomes the log filename. *)
+
+val set_dir : string option -> unit
+(** Activates every registered cache under the given directory
+    (creating it if needed), replaying existing logs; [None]
+    deactivates them all.  Called by the CLI, once, before work. *)
+
+val dir : unit -> string option
+val active : t -> bool
+
+val find : t -> string -> Json.t option
+(** Telemetry: [persist.cache.hit] / [persist.cache.miss]. *)
+
+val add : t -> string -> Json.t -> unit
+(** Stores in memory and appends to the log ([persist.cache.store]). *)
+
+val sync : t -> unit
+val size : t -> int
+val name : t -> string

@@ -1,0 +1,113 @@
+(* Sweep checkpoint journal.
+
+   One journal file holds records {"task":sig,"chunk":i,"data":..},
+   appended by the searches as each geometry chunk completes.  The task
+   signature encodes everything the chunk result depends on (objective,
+   kernel, flavor, accounting, full grids...), so resuming against a
+   changed configuration silently matches nothing and recomputes — a
+   stale journal can slow a run down but never corrupt it.
+
+   Like Cache, an ambient default is settable by the CLI so the
+   searches pick the journal up without parameter threading. *)
+
+type t = {
+  log : Record_log.t;
+  (* (task, chunk) -> data, from replay plus this run's appends *)
+  done_chunks : (string * int, Json.t) Hashtbl.t;
+  replayed : int;
+  mutable appended : int;
+  every : int;
+  lock : Mutex.t;
+}
+
+let schema = "sweep-journal"
+let c_chunks = Runtime.Telemetry.counter "persist.checkpoint.chunks"
+let c_replayed = Runtime.Telemetry.counter "persist.checkpoint.replayed"
+
+let decode_record j =
+  match
+    (Json.string_field j "task", Json.int_field j "chunk", Json.member "data" j)
+  with
+  | Some task, Some chunk, Some data -> Some (task, chunk, data)
+  | _ -> None
+
+let create ~path ?(resume = false) ?(checkpoint_every = 64) () =
+  let every = max 1 checkpoint_every in
+  if not resume then begin
+    let log = Record_log.create ~path ~schema () in
+    Ok
+      {
+        log;
+        done_chunks = Hashtbl.create 256;
+        replayed = 0;
+        appended = 0;
+        every;
+        lock = Mutex.create ();
+      }
+  end
+  else
+    match Record_log.open_append ~path ~schema () with
+    | Error e -> Error e
+    | Ok (log, records) ->
+      let done_chunks = Hashtbl.create 256 in
+      List.iter
+        (fun r ->
+          match decode_record r with
+          | Some (task, chunk, data) ->
+            Hashtbl.replace done_chunks (task, chunk) data
+          | None -> ())
+        records;
+      let replayed = Hashtbl.length done_chunks in
+      Runtime.Telemetry.add c_replayed replayed;
+      if replayed > 0 then
+        Obs.Log.info ~section:"persist"
+          "resume: %d completed chunks replayed from %s" replayed path;
+      Ok { log; done_chunks; replayed; appended = 0; every; lock = Mutex.create () }
+
+let checkpoint_every t = t.every
+let replayed t = t.replayed
+let appended t = Mutex.protect t.lock (fun () -> t.appended)
+
+let completed t ~task ~chunk =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.find_opt t.done_chunks (task, chunk))
+
+let completed_for t ~task =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold
+        (fun (tk, chunk) data acc ->
+          if tk = task then (chunk, data) :: acc else acc)
+        t.done_chunks [])
+
+let record t ~task ~chunk data =
+  Mutex.protect t.lock (fun () ->
+      let r =
+        Json.Obj
+          [
+            ("task", Json.String task);
+            ("chunk", Json.Int chunk);
+            ("data", data);
+          ]
+      in
+      (* Faults.Injected must propagate — it models a dead process.
+         Real write errors degrade: the sweep result is still correct,
+         only resumability is lost. *)
+      (try
+         Record_log.append t.log r;
+         t.appended <- t.appended + 1;
+         Runtime.Telemetry.incr c_chunks
+       with Sys_error msg ->
+         Obs.Log.warn ~section:"persist"
+           "checkpoint write failed (%s); chunk %d of %s not journaled" msg
+           chunk task);
+      Hashtbl.replace t.done_chunks (task, chunk) data)
+
+let sync t = Record_log.sync t.log
+let close t = Record_log.close t.log
+let path t = Record_log.path t.log
+
+(* ----- ambient default, mirroring Pool.set_default_jobs ----- *)
+
+let default_ref : t option ref = ref None
+let set_default d = default_ref := d
+let default () = !default_ref

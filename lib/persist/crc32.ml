@@ -1,0 +1,25 @@
+(* IEEE CRC-32 (reflected, polynomial 0xEDB88320), table-driven.
+   Pure OCaml so the record log carries no external dependency; ints
+   are 63-bit on every platform we build for, so a land with 0xFFFFFFFF
+   keeps values in the unsigned 32-bit range. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let update crc s pos len =
+  let t = Lazy.force table in
+  let crc = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    crc := t.((!crc lxor Char.code (String.unsafe_get s i)) land 0xFF)
+           lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let string s = update 0 s 0 (String.length s)

@@ -1,0 +1,40 @@
+(** Minimal JSON value type with a compact emitter and a strict parser.
+
+    Unlike [Sram_edp.Json_out] (output-only, higher in the dependency
+    graph) this module both emits and parses, because the record log
+    must replay what it wrote.  Floats are printed with enough digits
+    ([%.17g]) that [of_string (to_string v)] reproduces every finite
+    IEEE double bit-for-bit — the property the resume protocol's
+    bit-identical-winner guarantee rests on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) serialization.
+    @raise Invalid_argument on non-finite floats, which have no JSON
+    representation; encode them as [Null] explicitly if needed. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete JSON document. *)
+
+(** {2 Accessors} — all total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int] (JSON does not distinguish). *)
+
+val to_string_opt : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val int_field : t -> string -> int option
+val float_field : t -> string -> float option
+val string_field : t -> string -> string option

@@ -1,0 +1,65 @@
+(** Append-only record log: length-prefixed JSON frames with per-record
+    CRC32 and a schema/version/git-commit header, plus prefix-keeping
+    crash recovery and atomic snapshot compaction.
+
+    Format: a 6-byte magic ["SRLG1\n"], then frames of
+    [u32-LE length | u32-LE crc32 | payload].  The first frame is the
+    header.  See DESIGN.md §8 for the crash model. *)
+
+type header = {
+  schema : string;
+  version : int;
+  git_commit : string;
+  meta : (string * Json.t) list;
+}
+
+type t
+(** A writer handle.  Appends are mutex-protected and safe to share
+    across domains. *)
+
+val create :
+  path:string -> ?version:int -> ?meta:(string * Json.t) list ->
+  schema:string -> unit -> t
+(** Creates (or truncates) a log at [path] and writes the header.
+    Creates the parent directory if missing (one level). *)
+
+val open_append :
+  path:string -> ?version:int -> schema:string -> unit ->
+  (t * Json.t list, string) result
+(** Reopens an existing log for appending, first recovering its valid
+    prefix (a torn tail is truncated away).  Returns the writer and the
+    replayed data records in write order.  Creates a fresh log if
+    [path] does not exist.  Fails on magic/schema/version mismatch. *)
+
+val append : t -> Json.t -> unit
+(** Appends one record.  Raises [Sys_error] on real write failure
+    (after restoring the record boundary) and [Faults.Injected] when an
+    armed fault fires. *)
+
+val sync : t -> unit
+(** fsync to stable storage. *)
+
+val close : t -> unit
+val path : t -> string
+
+type recovery = {
+  header : header;
+  records : Json.t list;     (** valid data records, in write order *)
+  recovered : int;           (** [List.length records] *)
+  discarded_bytes : int;     (** torn-tail bytes dropped *)
+  valid_end : int;           (** offset just past the last valid frame *)
+}
+
+val read : path:string -> (recovery, string) result
+(** Reads and validates a log without opening it for writing.
+    Recovery is prefix-keeping: scanning stops at the first bad
+    length/CRC/JSON frame and everything after it is discarded. *)
+
+val write_snapshot :
+  path:string -> ?version:int -> ?meta:(string * Json.t) list ->
+  schema:string -> Json.t list -> unit
+(** Atomically replaces [path] with a fresh log containing [records]:
+    written to [path ^ ".tmp"], fsynced, then renamed into place. *)
+
+val git_commit : unit -> string
+(** Short git commit of HEAD, or ["unknown"]; memoized. *)

@@ -150,6 +150,20 @@ let find_or_compute t k f =
     add t k v;
     v
 
+let find_or_compute_tiered t k ~load ~store f =
+  match find_opt t k with
+  | Some v -> v
+  | None -> (
+    match load k with
+    | Some v ->
+      add t k v;
+      v
+    | None ->
+      let v = f () in
+      add t k v;
+      store k v;
+      v)
+
 let length t =
   Mutex.lock t.lock;
   let n = Hashtbl.length t.table in

@@ -44,6 +44,14 @@ val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 (** [find_opt] then, on miss, compute-and-[add].  The computation runs
     without holding the memo's lock. *)
 
+val find_or_compute_tiered :
+  ('k, 'v) t -> 'k -> load:('k -> 'v option) -> store:('k -> 'v -> unit) ->
+  (unit -> 'v) -> 'v
+(** Three-tier lookup: memory memo, then [load] (a slower tier such as
+    a [Persist.Cache] disk log), then compute.  A [load] hit is
+    promoted into the memo; a computed value goes to both the memo and
+    [store].  [load]/[store]/compute all run outside the lock. *)
+
 val length : ('k, 'v) t -> int
 val stats : ('k, 'v) t -> stats
 

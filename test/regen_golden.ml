@@ -1,0 +1,16 @@
+(* Deliberate golden-file regeneration: `make regen-golden` (or
+   `dune exec test/regen_golden.exe -- <dir>`).  Rewrites every file
+   that test_golden.ml diffs against; review the git diff before
+   committing. *)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (name, content) ->
+      let path = Filename.concat dir name in
+      let oc = open_out_bin path in
+      output_string oc content;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes)\n%!" path (String.length content))
+    (Testutil.Golden_gen.files ())

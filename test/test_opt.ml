@@ -224,6 +224,69 @@ let pareto_tests =
         Alcotest.(check bool) "front" true (Opt.Pareto.front [] = []);
         Alcotest.(check bool) "knee" true (Opt.Pareto.knee [] = None)) ]
 
+(* Pareto invariants as QCheck properties over synthetic candidates:
+   the front logic only reads (d_array, e_total), so a dummy geometry
+   and nominal rails let us drive it with arbitrary objective points
+   instead of the handful a real search produces. *)
+let synth_candidate (d, e) =
+  { Opt.Exhaustive.geometry =
+      Array_model.Geometry.create ~nr:16 ~nc:16 ~n_pre:1 ~n_wr:1 ();
+    assist = Array_model.Components.no_assist;
+    metrics =
+      { Array_model.Array_eval.d_read = d; d_write = d; d_array = d;
+        e_read = e; e_write = e; e_switching = e; e_leakage = 0.0;
+        e_total = e; edp = d *. e; d_bl_read = d; d_row_path_read = 0.0;
+        d_col_path = 0.0 };
+    score = d *. e }
+
+let points_arb =
+  QCheck.(
+    list_of_size (Gen.int_range 1 40)
+      (pair (float_range 1e-3 1e3) (float_range 1e-3 1e3)))
+
+let dm (c : Opt.Exhaustive.candidate) = c.Opt.Exhaustive.metrics.Array_model.Array_eval.d_array
+let em (c : Opt.Exhaustive.candidate) = c.Opt.Exhaustive.metrics.Array_model.Array_eval.e_total
+let dominates a b = dm a <= dm b && em a <= em b && (dm a < dm b || em a < em b)
+
+let pareto_prop_tests =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"front is mutually non-dominated" ~count:300
+         points_arb (fun points ->
+           let front = Opt.Pareto.front (List.map synth_candidate points) in
+           front <> []
+           && List.for_all
+                (fun a -> List.for_all (fun b -> a == b || not (dominates b a)) front)
+                front));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"every candidate is covered by the front" ~count:300
+         points_arb (fun points ->
+           let all = List.map synth_candidate points in
+           let front = Opt.Pareto.front all in
+           List.for_all
+             (fun c ->
+               List.exists (fun f -> dm f <= dm c && em f <= em c) front)
+             all));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"front extraction is idempotent" ~count:300
+         points_arb (fun points ->
+           let front = Opt.Pareto.front (List.map synth_candidate points) in
+           let again = Opt.Pareto.front front in
+           List.length again = List.length front
+           && List.for_all
+                (fun f -> List.exists (fun g -> dm f = dm g && em f = em g) again)
+                front));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"knee is a front member" ~count:300 points_arb
+         (fun points ->
+           let all = List.map synth_candidate points in
+           match Opt.Pareto.knee all with
+           | None -> false
+           | Some k ->
+             List.exists
+               (fun f -> dm f = dm k && em f = em k)
+               (Opt.Pareto.front all)));
+  ]
+
 let anneal_tests =
   [ case "annealing is deterministic per seed" (fun () ->
         let run () =
@@ -232,8 +295,25 @@ let anneal_tests =
             ~seed:5 ~env:env_hvt ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
         in
         let a = run () and b = run () in
-        check_close "same score" a.Opt.Exhaustive.best.Opt.Exhaustive.score
-          b.Opt.Exhaustive.best.Opt.Exhaustive.score);
+        (* Determinism means the whole design point, not just the score:
+           same geometry, same assist rail, bit-identical floats. *)
+        let ga = a.Opt.Exhaustive.best.Opt.Exhaustive.geometry in
+        let gb = b.Opt.Exhaustive.best.Opt.Exhaustive.geometry in
+        Alcotest.(check int) "nr" ga.Array_model.Geometry.nr gb.Array_model.Geometry.nr;
+        Alcotest.(check int) "nc" ga.Array_model.Geometry.nc gb.Array_model.Geometry.nc;
+        Alcotest.(check int) "n_pre" ga.Array_model.Geometry.n_pre gb.Array_model.Geometry.n_pre;
+        Alcotest.(check int) "n_wr" ga.Array_model.Geometry.n_wr gb.Array_model.Geometry.n_wr;
+        let bits r =
+          Int64.bits_of_float r.Opt.Exhaustive.best.Opt.Exhaustive.score
+        in
+        Alcotest.(check int64) "score bits" (bits a) (bits b);
+        let vssc r =
+          Int64.bits_of_float
+            r.Opt.Exhaustive.best.Opt.Exhaustive.assist.Array_model.Components.vssc
+        in
+        Alcotest.(check int64) "vssc bits" (vssc a) (vssc b);
+        Alcotest.(check int) "same trajectory" a.Opt.Exhaustive.evaluated
+          b.Opt.Exhaustive.evaluated);
     case "annealing lands within 10% of the exhaustive optimum" (fun () ->
         let exact =
           Opt.Exhaustive.search ~space:Opt.Space.reduced ~env:env_hvt
@@ -349,6 +429,7 @@ let () =
       ("exhaustive", exhaustive_tests);
       ("objective", objective_tests);
       ("pareto", pareto_tests);
+      ("pareto_props", pareto_prop_tests);
       ("anneal", anneal_tests);
       ("local_search", local_search_tests);
       ("array_yield", array_yield_tests) ]

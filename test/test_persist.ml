@@ -1,0 +1,497 @@
+(* Tests for lib/persist: JSON codec round-trips (QCheck), CRC32
+   vectors, record-log crash recovery (torn tails, corrupted CRCs,
+   injected short writes), the disk cache's degrade-don't-fail policy,
+   and the headline checkpoint/resume property — a sweep killed at an
+   injected record boundary and resumed from its journal produces a
+   bit-identical winner checksum to an uninterrupted run at any job
+   count. *)
+
+open Testutil
+module J = Persist.Json
+
+(* ----- scratch files ----- *)
+
+let tmp_root =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sram_opt_test_persist_%d" (Unix.getpid ()))
+  in
+  (if not (Sys.file_exists d) then Sys.mkdir d 0o755);
+  d
+
+let fresh =
+  let n = ref 0 in
+  fun name ->
+    incr n;
+    Filename.concat tmp_root (Printf.sprintf "%s_%d.rlog" name !n)
+
+let rm path = if Sys.file_exists path then Sys.remove path
+
+(* Every fault test must leave the process-wide fault state clean, and
+   must reset the data-record counter *immediately before* arming so
+   that records appended by earlier tests in this process don't shift
+   the fault's firing point. *)
+let with_faults faults f =
+  Persist.Faults.disarm_all ();
+  List.iter Persist.Faults.arm faults;
+  Fun.protect ~finally:Persist.Faults.disarm_all f
+
+(* ----- Json ----- *)
+
+let rec json_eq a b =
+  match (a, b) with
+  | J.Null, J.Null -> true
+  | J.Bool x, J.Bool y -> x = y
+  | J.Int x, J.Int y -> x = y
+  | J.Float x, J.Float y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | J.String x, J.String y -> String.equal x y
+  | J.List x, J.List y ->
+    List.length x = List.length y && List.for_all2 json_eq x y
+  | J.Obj x, J.Obj y ->
+    List.length x = List.length y
+    && List.for_all2
+         (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_eq v1 v2)
+         x y
+  | _ -> false
+
+let roundtrip v =
+  match J.of_string (J.to_string v) with
+  | Ok v' -> v'
+  | Error msg -> Alcotest.failf "parse error on %s: %s" (J.to_string v) msg
+
+let json_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map (fun i -> J.Int i) int;
+        map (fun f -> J.Float f) (float_range (-1e18) 1e18);
+        map (fun f -> J.Float f) float;
+        map (fun s -> J.String s) (string_size ~gen:printable (int_bound 12));
+      ]
+  in
+  (* Non-finite floats have no JSON encoding; the emitter raises on
+     them by contract, so keep the generator finite. *)
+  let finite = function
+    | J.Float f when not (Float.is_finite f) -> J.Null
+    | v -> v
+  in
+  let leaf = map finite leaf in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [ (3, leaf);
+            (1, map (fun l -> J.List l) (list_size (int_bound 4) (self (depth - 1))));
+            ( 1,
+              map
+                (fun kvs -> J.Obj kvs)
+                (list_size (int_bound 4)
+                   (pair (string_size ~gen:printable (int_bound 8)) (self (depth - 1)))) );
+          ])
+    3
+
+let json_arb =
+  QCheck.make ~print:(fun v -> J.to_string v) json_gen
+
+let json_tests =
+  [ case "scalars round-trip" (fun () ->
+        List.iter
+          (fun v -> Alcotest.(check bool) (J.to_string v) true (json_eq v (roundtrip v)))
+          [ J.Null; J.Bool true; J.Bool false; J.Int 0; J.Int (-42);
+            J.Int max_int; J.Int min_int; J.Float 0.5; J.Float (-0.0);
+            J.Float 1.2345678901234567e-300; J.String ""; J.String "plain";
+            J.List []; J.Obj [] ]);
+    case "string escapes and unicode round-trip" (fun () ->
+        let v = J.String "a\"b\\c\nd\te\r\x01 \xe2\x82\xac" in
+        Alcotest.(check bool) "escaped" true (json_eq v (roundtrip v)));
+    case "emitter rejects non-finite floats" (fun () ->
+        List.iter
+          (fun f ->
+            match J.to_string (J.Float f) with
+            | exception Invalid_argument _ -> ()
+            | s -> Alcotest.failf "non-finite float emitted as %s" s)
+          [ Float.nan; Float.infinity; Float.neg_infinity ]);
+    case "parser rejects trailing garbage and truncation" (fun () ->
+        List.iter
+          (fun s ->
+            match J.of_string s with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "accepted malformed input %S" s)
+          [ "{\"a\":1} x"; "[1,2"; "{\"a\"}"; ""; "nul"; "1.2.3" ]);
+    case "accessors" (fun () ->
+        let v = J.Obj [ ("n", J.Int 3); ("x", J.Float 2.5); ("s", J.String "hi") ] in
+        Alcotest.(check (option int)) "int_field" (Some 3) (J.int_field v "n");
+        Alcotest.(check bool) "int promotes to float" true
+          (J.float_field v "n" = Some 3.0);
+        Alcotest.(check (option string)) "string_field" (Some "hi") (J.string_field v "s");
+        Alcotest.(check (option int)) "missing" None (J.int_field v "zzz"));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random documents round-trip bit-exactly" ~count:500
+         json_arb (fun v -> json_eq v (roundtrip v)));
+  ]
+
+(* ----- Crc32 ----- *)
+
+let crc_tests =
+  [ case "known vectors" (fun () ->
+        (* The canonical CRC-32 check value, plus the empty string. *)
+        Alcotest.(check int) "123456789" 0xCBF43926 (Persist.Crc32.string "123456789");
+        Alcotest.(check int) "empty" 0 (Persist.Crc32.string ""));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"update composes like a single pass" ~count:200
+         QCheck.(pair string string)
+         (fun (a, b) ->
+           let whole = Persist.Crc32.string (a ^ b) in
+           let split =
+             Persist.Crc32.update
+               (Persist.Crc32.update 0 a 0 (String.length a))
+               b 0 (String.length b)
+           in
+           whole = split));
+  ]
+
+(* ----- Record_log ----- *)
+
+let mk_records n =
+  List.init n (fun i ->
+      J.Obj [ ("i", J.Int i); ("x", J.Float (1.0 /. float_of_int (i + 3))) ])
+
+let write_log path records =
+  let t = Persist.Record_log.create ~path ~schema:"test" () in
+  List.iter (Persist.Record_log.append t) records;
+  Persist.Record_log.sync t;
+  Persist.Record_log.close t
+
+let read_ok path =
+  match Persist.Record_log.read ~path with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "read %s: %s" path msg
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let truncate_by path k =
+  let size = file_size path in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (size - k);
+  Unix.close fd
+
+let corrupt_byte path off =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd
+
+let check_records msg expected actual =
+  Alcotest.(check int) (msg ^ ": count") (List.length expected) (List.length actual);
+  List.iter2
+    (fun e a -> Alcotest.(check bool) (msg ^ ": payload") true (json_eq e a))
+    expected actual
+
+let record_log_tests =
+  [ case "write then read preserves order and header" (fun () ->
+        let path = fresh "basic" in
+        let records = mk_records 5 in
+        write_log path records;
+        let r = read_ok path in
+        check_records "basic" records r.records;
+        Alcotest.(check int) "recovered" 5 r.recovered;
+        Alcotest.(check int) "no tail" 0 r.discarded_bytes;
+        Alcotest.(check string) "schema" "test" r.header.Persist.Record_log.schema;
+        rm path);
+    case "truncated tail is dropped, prefix kept" (fun () ->
+        let path = fresh "torn" in
+        let records = mk_records 4 in
+        write_log path records;
+        truncate_by path 3;
+        let r = read_ok path in
+        check_records "torn" (mk_records 3) r.records;
+        Alcotest.(check bool) "discarded > 0" true (r.discarded_bytes > 0);
+        rm path);
+    case "corrupted CRC drops the bad record, prefix kept" (fun () ->
+        let path = fresh "crc" in
+        write_log path (mk_records 3);
+        let whole = read_ok path in
+        (* Flip the last payload byte of the final frame: the length is
+           intact, the CRC no longer matches. *)
+        corrupt_byte path (whole.valid_end - 1);
+        let r = read_ok path in
+        check_records "crc" (mk_records 2) r.records;
+        Alcotest.(check bool) "discarded > 0" true (r.discarded_bytes > 0);
+        rm path);
+    case "open_append replays then continues the same log" (fun () ->
+        let path = fresh "cont" in
+        write_log path (mk_records 2);
+        (match Persist.Record_log.open_append ~path ~schema:"test" () with
+        | Error msg -> Alcotest.fail msg
+        | Ok (t, replayed) ->
+          check_records "replayed" (mk_records 2) replayed;
+          Persist.Record_log.append t (J.Obj [ ("i", J.Int 99) ]);
+          Persist.Record_log.close t);
+        let r = read_ok path in
+        Alcotest.(check int) "grew to 3" 3 r.recovered;
+        rm path);
+    case "open_append rejects a schema mismatch" (fun () ->
+        let path = fresh "schema" in
+        write_log path (mk_records 1);
+        (match Persist.Record_log.open_append ~path ~schema:"other" () with
+        | Error _ -> ()
+        | Ok (t, _) ->
+          Persist.Record_log.close t;
+          Alcotest.fail "schema mismatch accepted");
+        rm path);
+    case "snapshot compaction rewrites atomically" (fun () ->
+        let path = fresh "snap" in
+        write_log path (mk_records 6);
+        let keep = mk_records 2 in
+        Persist.Record_log.write_snapshot ~path ~schema:"test" keep;
+        let r = read_ok path in
+        check_records "snapshot" keep r.records;
+        Alcotest.(check bool) "no tmp left" false (Sys.file_exists (path ^ ".tmp"));
+        rm path);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"records written = records replayed" ~count:50
+         (QCheck.list_of_size (QCheck.Gen.int_bound 20) json_arb)
+         (fun records ->
+           (* Logs replay documents, not subtrees: wrap each random
+              value so every record is a standalone document. *)
+           let records = List.map (fun v -> J.Obj [ ("v", v) ]) records in
+           let path = fresh "prop" in
+           write_log path records;
+           let r = read_ok path in
+           let ok =
+             List.length r.records = List.length records
+             && List.for_all2 json_eq records r.records
+             && r.discarded_bytes = 0
+           in
+           rm path;
+           ok));
+  ]
+
+(* ----- Faults ----- *)
+
+let fault_tests =
+  [ case "parse specs" (fun () ->
+        Alcotest.(check bool) "kill" true
+          (Persist.Faults.parse "kill:3" = Ok (Persist.Faults.Kill 3));
+        Alcotest.(check bool) "short" true
+          (Persist.Faults.parse "short:0" = Ok (Persist.Faults.Short_write 0));
+        Alcotest.(check bool) "enospc" true
+          (Persist.Faults.parse "enospc:7" = Ok (Persist.Faults.Enospc 7));
+        List.iter
+          (fun s ->
+            match Persist.Faults.parse s with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "accepted %S" s)
+          [ "kill"; "kill:x"; "fry:1"; "" ]);
+    case "short write leaves a torn record that recovery discards" (fun () ->
+        let path = fresh "short" in
+        with_faults [ Persist.Faults.Short_write 2 ] (fun () ->
+            let t = Persist.Record_log.create ~path ~schema:"test" () in
+            let died =
+              match List.iter (Persist.Record_log.append t) (mk_records 5) with
+              | () -> false
+              | exception Persist.Faults.Injected _ -> true
+            in
+            Persist.Record_log.close t;
+            Alcotest.(check bool) "died at record 2" true died);
+        let r = read_ok path in
+        check_records "short prefix" (mk_records 2) r.records;
+        Alcotest.(check bool) "torn bytes discarded" true (r.discarded_bytes > 0);
+        rm path);
+    case "kill fires at the boundary after record N, log stays valid" (fun () ->
+        let path = fresh "kill" in
+        with_faults [ Persist.Faults.Kill 1 ] (fun () ->
+            let t = Persist.Record_log.create ~path ~schema:"test" () in
+            let died =
+              match List.iter (Persist.Record_log.append t) (mk_records 4) with
+              | () -> false
+              | exception Persist.Faults.Injected _ -> true
+            in
+            Persist.Record_log.close t;
+            Alcotest.(check bool) "died after record 1" true died);
+        let r = read_ok path in
+        check_records "kill prefix" (mk_records 2) r.records;
+        Alcotest.(check int) "clean boundary" 0 r.discarded_bytes;
+        rm path);
+    case "sticky death: appends after the crash also die" (fun () ->
+        let path = fresh "sticky" in
+        with_faults [ Persist.Faults.Kill 0 ] (fun () ->
+            let t = Persist.Record_log.create ~path ~schema:"test" () in
+            (try List.iter (Persist.Record_log.append t) (mk_records 2)
+             with Persist.Faults.Injected _ -> ());
+            (match Persist.Record_log.append t (J.Int 1) with
+            | () -> Alcotest.fail "append succeeded after injected death"
+            | exception Persist.Faults.Injected _ -> ());
+            Persist.Record_log.close t);
+        rm path);
+    case "enospc truncates back to the record boundary and re-raises" (fun () ->
+        let path = fresh "enospc" in
+        with_faults [ Persist.Faults.Enospc 1 ] (fun () ->
+            let t = Persist.Record_log.create ~path ~schema:"test" () in
+            let records = mk_records 3 in
+            let failures = ref 0 in
+            List.iter
+              (fun v ->
+                try Persist.Record_log.append t v
+                with Sys_error _ -> incr failures)
+              records;
+            Persist.Record_log.close t;
+            Alcotest.(check int) "one ENOSPC" 1 !failures);
+        (* Record 1 failed once; 0 and 2 landed, and the failed write
+           left no partial frame behind. *)
+        let r = read_ok path in
+        Alcotest.(check int) "two records" 2 r.recovered;
+        Alcotest.(check int) "no torn bytes" 0 r.discarded_bytes;
+        rm path);
+  ]
+
+(* ----- Cache ----- *)
+
+let cache_dir = Filename.concat tmp_root "cache"
+let test_cache = Persist.Cache.create ~name:"test.roundtrip" ()
+
+let with_cache_dir f =
+  Persist.Cache.set_dir (Some cache_dir);
+  Fun.protect ~finally:(fun () -> Persist.Cache.set_dir None) f
+
+let cache_tests =
+  [ case "inactive until set_dir" (fun () ->
+        Persist.Cache.add test_cache "k" (J.Int 1);
+        Alcotest.(check (option reject)) "find" None
+          (Persist.Cache.find test_cache "k"));
+    case "entries persist across a reopen" (fun () ->
+        with_cache_dir (fun () ->
+            Persist.Cache.add test_cache "answer" (J.Int 42);
+            Persist.Cache.sync test_cache);
+        with_cache_dir (fun () ->
+            match Persist.Cache.find test_cache "answer" with
+            | Some (J.Int 42) -> ()
+            | Some v -> Alcotest.failf "wrong value %s" (J.to_string v)
+            | None -> Alcotest.fail "entry lost across reopen"));
+    case "later add wins on replay" (fun () ->
+        with_cache_dir (fun () ->
+            Persist.Cache.add test_cache "dup" (J.Int 1);
+            Persist.Cache.add test_cache "dup" (J.Int 2);
+            Persist.Cache.sync test_cache);
+        with_cache_dir (fun () ->
+            match Persist.Cache.find test_cache "dup" with
+            | Some (J.Int 2) -> ()
+            | _ -> Alcotest.fail "replay did not keep the last write"));
+    case "ENOSPC degrades to memory-only, not a failure" (fun () ->
+        with_cache_dir (fun () ->
+            with_faults [ Persist.Faults.Enospc 0 ] (fun () ->
+                Persist.Cache.add test_cache "lost" (J.Int 7));
+            (* Still served from memory in this process... *)
+            Alcotest.(check bool) "memory hit" true
+              (Persist.Cache.find test_cache "lost" = Some (J.Int 7)));
+        (* ...but the failed append never reached the log. *)
+        with_cache_dir (fun () ->
+            Alcotest.(check (option reject)) "not on disk" None
+              (Persist.Cache.find test_cache "lost")));
+  ]
+
+(* ----- Checkpoint / resume bit-identity ----- *)
+
+let env_hvt = Array_model.Array_eval.make_env ~cell_flavor:Finfet.Library.Hvt ()
+let small_cap = 1024 * 8
+
+let sweep ?journal ~pool () =
+  Opt.Exhaustive.search ~space:Opt.Space.reduced ~pool ?journal ~env:env_hvt
+    ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
+
+let base_checksum =
+  lazy
+    (let pool = Runtime.Pool.create ~jobs:1 () in
+     Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) @@ fun () ->
+     Opt.Exhaustive.checksum [ sweep ~pool () ])
+
+let open_journal ~path ~resume =
+  match Persist.Checkpoint.create ~path ~resume ~checkpoint_every:4 () with
+  | Ok j -> j
+  | Error msg -> Alcotest.failf "checkpoint %s: %s" path msg
+
+(* The acceptance criterion: kill a journaled sweep at an injected
+   record boundary, reopen the journal with resume, and the finished
+   sweep's winner checksum is bit-identical to an uninterrupted run —
+   at every job count. *)
+let kill_resume_case jobs =
+  slow_case (Printf.sprintf "killed sweep resumes bit-identically (%d jobs)" jobs)
+    (fun () ->
+      let pool = Runtime.Pool.create ~jobs () in
+      Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) @@ fun () ->
+      let path = fresh (Printf.sprintf "journal_%dj" jobs) in
+      (* Uninterrupted journaled run first: same checksum as plain. *)
+      let j = open_journal ~path ~resume:false in
+      let full = Opt.Exhaustive.checksum [ sweep ~journal:j ~pool () ] in
+      Persist.Checkpoint.close j;
+      Alcotest.(check string) "journaled = plain" (Lazy.force base_checksum) full;
+      (* Now the crash: fresh journal, die after chunk record 3. *)
+      let j = open_journal ~path ~resume:false in
+      let died =
+        with_faults [ Persist.Faults.Kill 3 ] (fun () ->
+            match sweep ~journal:j ~pool () with
+            | _ -> false
+            | exception Persist.Faults.Injected _ -> true)
+      in
+      Persist.Checkpoint.close j;
+      Alcotest.(check bool) "sweep killed by injected fault" true died;
+      (* Resume: completed chunks replay, the rest recompute. *)
+      let j = open_journal ~path ~resume:true in
+      Alcotest.(check bool) "chunks replayed" true (Persist.Checkpoint.replayed j > 0);
+      let resumed = Opt.Exhaustive.checksum [ sweep ~journal:j ~pool () ] in
+      Persist.Checkpoint.close j;
+      rm path;
+      Alcotest.(check string) "resumed = uninterrupted" (Lazy.force base_checksum)
+        resumed)
+
+let checkpoint_tests =
+  [ case "result codec round-trips the winner bit-exactly" (fun () ->
+        let pool = Runtime.Pool.create ~jobs:1 () in
+        Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) @@ fun () ->
+        let r = sweep ~pool () in
+        match Opt.Exhaustive.result_of_json (Opt.Exhaustive.result_to_json r) with
+        | None -> Alcotest.fail "result codec round-trip failed"
+        | Some r' ->
+          Alcotest.(check string) "checksum preserved"
+            (Opt.Exhaustive.checksum [ r ])
+            (Opt.Exhaustive.checksum [ r' ]);
+          Alcotest.(check bool) "winner floats bit-identical" true
+            (Int64.bits_of_float r.best.score = Int64.bits_of_float r'.best.score));
+    case "stale journal entries are ignored, not folded in" (fun () ->
+        (* A journal recorded under a different task signature must not
+           contaminate the sweep: recovery matches nothing and the full
+           result is recomputed. *)
+        let path = fresh "stale" in
+        let j = open_journal ~path ~resume:false in
+        Persist.Checkpoint.record j ~task:"search|bogus|signature" ~chunk:0
+          (J.Obj [ ("best", J.Null); ("lo", J.Int 0); ("hi", J.Int 3) ]);
+        Persist.Checkpoint.close j;
+        let j = open_journal ~path ~resume:true in
+        Alcotest.(check int) "foreign chunk replayed" 1 (Persist.Checkpoint.replayed j);
+        let pool = Runtime.Pool.create ~jobs:2 () in
+        Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) @@ fun () ->
+        let cs = Opt.Exhaustive.checksum [ sweep ~journal:j ~pool () ] in
+        Persist.Checkpoint.close j;
+        rm path;
+        Alcotest.(check string) "winner unaffected" (Lazy.force base_checksum) cs);
+    kill_resume_case 1;
+    kill_resume_case 2;
+    kill_resume_case 4;
+  ]
+
+let () =
+  Alcotest.run "persist"
+    [ ("json", json_tests);
+      ("crc32", crc_tests);
+      ("record_log", record_log_tests);
+      ("faults", fault_tests);
+      ("cache", cache_tests);
+      ("checkpoint", checkpoint_tests);
+    ]

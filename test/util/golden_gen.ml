@@ -1,0 +1,87 @@
+(* Golden-file content generation, shared by the regression tests
+   (test_golden.ml, which diffs against the files under test/golden)
+   and the regenerator (regen_golden.ml, `make regen-golden`).  Everything here
+   must be bit-stable run to run: the searches are deterministic at any
+   job count and Json_out prints floats with enough digits to
+   round-trip, so a golden diff means the model output changed, not
+   that the harness wobbled. *)
+
+open Sram_edp
+
+(* Reduced space keeps regeneration and `dune runtest` fast while still
+   exercising the staged kernel, yield pinning and both methods; the
+   full-space Table 4 lives in the bench harness, not the goldens. *)
+let capacities = [ 128 * 8; 1024 * 8; 4 * 1024 * 8 ]
+
+let designs =
+  lazy
+    (Framework.sweep_capacities ~space:Opt.Space.reduced ~capacities
+       ~configs:Framework.all_configs ())
+
+let rows =
+  lazy
+    (List.map
+       (fun (o : Framework.optimized) ->
+         let g = Framework.geometry o in
+         let a = Framework.assist o in
+         let m = Framework.metrics o in
+         { Experiments.capacity_bits = o.Framework.capacity_bits;
+           config = o.Framework.config;
+           nr = g.Array_model.Geometry.nr;
+           nc = g.Array_model.Geometry.nc;
+           n_pre = g.Array_model.Geometry.n_pre;
+           n_wr = g.Array_model.Geometry.n_wr;
+           vddc = a.Array_model.Components.vddc;
+           vssc = a.Array_model.Components.vssc;
+           vwl = a.Array_model.Components.vwl;
+           d_array = m.Array_model.Array_eval.d_array;
+           e_total = m.Array_model.Array_eval.e_total;
+           edp = m.Array_model.Array_eval.edp;
+           d_bl_read = m.Array_model.Array_eval.d_bl_read })
+       (Lazy.force designs))
+
+let table4_json () =
+  Json_out.to_string_pretty
+    (Json_out.List (List.map Json_out.of_design_row (Lazy.force rows)))
+  ^ "\n"
+
+let report_text () =
+  let table =
+    Report.create
+      ~columns:
+        [ "M"; "SRAM"; "n_r"; "n_c"; "N_pre"; "N_wr"; "V_DDC"; "V_SSC"; "V_WL" ]
+  in
+  let last_capacity = ref 0 in
+  List.iter
+    (fun (r : Experiments.design_row) ->
+      if !last_capacity <> 0 && r.Experiments.capacity_bits <> !last_capacity
+      then Report.add_separator table;
+      last_capacity := r.Experiments.capacity_bits;
+      Report.add_row table
+        [ Units.capacity r.Experiments.capacity_bits;
+          Framework.config_name r.Experiments.config;
+          string_of_int r.Experiments.nr;
+          string_of_int r.Experiments.nc;
+          string_of_int r.Experiments.n_pre;
+          string_of_int r.Experiments.n_wr;
+          Units.mv r.Experiments.vddc;
+          Units.mv r.Experiments.vssc;
+          Units.mv r.Experiments.vwl ])
+    (Lazy.force rows);
+  Report.to_string table
+
+let datasheet_text () =
+  let pick =
+    List.find
+      (fun (o : Framework.optimized) ->
+        o.Framework.capacity_bits = 1024 * 8
+        && o.Framework.config.Framework.flavor = Finfet.Library.Hvt
+        && o.Framework.config.Framework.method_ = Opt.Space.M2)
+      (Lazy.force designs)
+  in
+  Datasheet.to_string (Datasheet.build pick)
+
+let files () =
+  [ ("table4.json", table4_json ());
+    ("report.txt", report_text ());
+    ("datasheet.txt", datasheet_text ()) ]

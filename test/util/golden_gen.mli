@@ -1,0 +1,19 @@
+(** Golden-file content, generated deterministically from a
+    reduced-space Table-4 sweep.  [test_golden.ml] diffs these strings
+    against the committed [test/golden/*]; [regen_golden.ml] rewrites
+    the files deliberately (`make regen-golden`). *)
+
+val capacities : int list
+(** Capacities covered by the golden sweep (bits). *)
+
+val table4_json : unit -> string
+(** The design table as pretty-printed JSON, newline-terminated. *)
+
+val report_text : unit -> string
+(** The Table-4 text rendering ({!Sram_edp.Report}). *)
+
+val datasheet_text : unit -> string
+(** Datasheet of the 1KB 6T-HVT-M2 design point. *)
+
+val files : unit -> (string * string) list
+(** [(basename, content)] for every golden file. *)

@@ -31,3 +31,5 @@ let check_decreasing ?(strict = false) msg xs =
 
 let case name f = Alcotest.test_case name `Quick f
 let slow_case name f = Alcotest.test_case name `Slow f
+
+module Golden_gen = Golden_gen

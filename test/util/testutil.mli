@@ -18,3 +18,7 @@ val case : string -> (unit -> unit) -> unit Alcotest.test_case
 
 val slow_case : string -> (unit -> unit) -> unit Alcotest.test_case
 (** `Slow test case (excluded by [dune runtest] with ALCOTEST_QUICK). *)
+
+module Golden_gen : module type of Golden_gen
+(** Golden-file content generation (re-exported through the library's
+    main module so test binaries can reach it). *)
