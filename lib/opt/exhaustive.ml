@@ -432,10 +432,27 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
     let eval_chunk ci =
       let lo = ci * every in
       let hi = min ngeom ((ci + 1) * every) - 1 in
-      match Persist.Checkpoint.completed journal ~task ~chunk:ci with
-      | Some data ->
+      (* A journaled chunk replays only if its stored best round-trips:
+         a JSON [Null] best is a legitimately empty chunk, but a best
+         that no longer decodes (e.g. Geometry invariants tightened
+         since the journal was written) must be recomputed — treating
+         it as empty could silently drop the true winner. *)
+      let replayed =
+        match Persist.Checkpoint.completed journal ~task ~chunk:ci with
+        | None -> None
+        | Some data -> (
+          match J.member "best" data with
+          | Some J.Null -> Some None
+          | Some j -> (
+            match candidate_of_json j with
+            | Some c -> Some (Some c)
+            | None -> None)
+          | None -> None)
+      in
+      match replayed with
+      | Some stored_best ->
         Obs.Progress.add_done (hi - lo + 1);
-        Option.bind (J.member "best" data) candidate_of_json
+        stored_best
       | None ->
         let best = ref None in
         for i = lo to hi do

@@ -88,16 +88,26 @@ let open_in_dir t dir =
            distinct entries atomically and reopen. *)
         if replayed > 64 && replayed > 2 * distinct then begin
           Record_log.close log;
+          let reopen () =
+            match Record_log.open_append ~path ~schema:(schema_of t) () with
+            | Ok (log, _) -> t.log <- Some log
+            | Error msg ->
+              t.degraded <- true;
+              Obs.Log.warn ~section:"persist"
+                "cache %s: reopen after compaction failed: %s" t.name msg
+          in
           let entries =
             Hashtbl.fold (fun k v acc -> record_of_entry k v :: acc) t.table []
           in
-          Record_log.write_snapshot ~path ~schema:(schema_of t) entries;
-          match Record_log.open_append ~path ~schema:(schema_of t) () with
-          | Ok (log, _) -> t.log <- Some log
-          | Error msg ->
-            t.degraded <- true;
+          match Record_log.write_snapshot ~path ~schema:(schema_of t) entries with
+          | () -> reopen ()
+          | exception Sys_error msg ->
+            (* Compaction is an optimization; the duplicated log on disk
+               is still valid, so fall back to it. *)
             Obs.Log.warn ~section:"persist"
-              "cache %s: reopen after compaction failed: %s" t.name msg
+              "cache %s: compaction failed (%s); keeping uncompacted log"
+              t.name msg;
+            reopen ()
         end
         else t.log <- Some log)
 
@@ -135,13 +145,17 @@ let add t key value =
       | Some log ->
         Hashtbl.replace t.table key value;
         Runtime.Telemetry.incr c_store;
-        (try Record_log.append log (record_of_entry key value)
-         with Sys_error msg ->
-           if not t.degraded then begin
-             t.degraded <- true;
-             Obs.Log.warn ~section:"persist"
-               "cache %s: write failed (%s); continuing memory-only" t.name msg
-           end))
+        (* Once degraded, never touch the disk again — a full disk
+           would otherwise cost a failing write per store.  [t.log]
+           stays [Some] as the activity gate for the memory tier; the
+           fd underneath is closed. *)
+        if not t.degraded then (
+          try Record_log.append log (record_of_entry key value)
+          with Sys_error msg ->
+            t.degraded <- true;
+            (try Record_log.close log with _ -> ());
+            Obs.Log.warn ~section:"persist"
+              "cache %s: write failed (%s); continuing memory-only" t.name msg))
 
 let sync t =
   Mutex.protect t.lock (fun () ->

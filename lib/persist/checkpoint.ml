@@ -16,6 +16,7 @@ type t = {
   done_chunks : (string * int, Json.t) Hashtbl.t;
   replayed : int;
   mutable appended : int;
+  mutable degraded : bool;
   every : int;
   lock : Mutex.t;
 }
@@ -41,6 +42,7 @@ let create ~path ?(resume = false) ?(checkpoint_every = 64) () =
         done_chunks = Hashtbl.create 256;
         replayed = 0;
         appended = 0;
+        degraded = false;
         every;
         lock = Mutex.create ();
       }
@@ -62,7 +64,16 @@ let create ~path ?(resume = false) ?(checkpoint_every = 64) () =
       if replayed > 0 then
         Obs.Log.info ~section:"persist"
           "resume: %d completed chunks replayed from %s" replayed path;
-      Ok { log; done_chunks; replayed; appended = 0; every; lock = Mutex.create () }
+      Ok
+        {
+          log;
+          done_chunks;
+          replayed;
+          appended = 0;
+          degraded = false;
+          every;
+          lock = Mutex.create ();
+        }
 
 let checkpoint_every t = t.every
 let replayed t = t.replayed
@@ -91,15 +102,20 @@ let record t ~task ~chunk data =
       in
       (* Faults.Injected must propagate — it models a dead process.
          Real write errors degrade: the sweep result is still correct,
-         only resumability is lost. *)
-      (try
-         Record_log.append t.log r;
-         t.appended <- t.appended + 1;
-         Runtime.Telemetry.incr c_chunks
-       with Sys_error msg ->
-         Obs.Log.warn ~section:"persist"
-           "checkpoint write failed (%s); chunk %d of %s not journaled" msg
-           chunk task);
+         only resumability is lost.  Once a write has failed the
+         journal stops touching the disk, so a full disk costs one
+         failed write total rather than one per chunk. *)
+      if not t.degraded then
+        (try
+           Record_log.append t.log r;
+           t.appended <- t.appended + 1;
+           Runtime.Telemetry.incr c_chunks
+         with Sys_error msg ->
+           t.degraded <- true;
+           Obs.Log.warn ~section:"persist"
+             "checkpoint write failed (%s); chunk %d of %s not journaled, \
+              journaling disabled"
+             msg chunk task);
       Hashtbl.replace t.done_chunks (task, chunk) data)
 
 let sync t = Record_log.sync t.log

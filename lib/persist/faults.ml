@@ -84,9 +84,11 @@ let on_record () =
             match f with
             | Enospc k when k = n ->
               Runtime.Telemetry.incr injected_counter;
+              (* The genuine exception a full disk produces, so tests
+                 exercise the same Unix_error -> Sys_error unification
+                 real failures take through Record_log. *)
               raise
-                (Sys_error
-                   "injected fault: No space left on device (ENOSPC)")
+                (Unix.Unix_error (Unix.ENOSPC, "write", "injected fault"))
             | Short_write k when k = n ->
               short := Some f;
               false

@@ -14,8 +14,10 @@ type fault =
       (** Write only a prefix of data record N, then die — leaves a
           torn record for recovery to discard. *)
   | Enospc of int
-      (** Fail data record N's write with a [Sys_error] resembling
-          ENOSPC, once; subsequent writes succeed. *)
+      (** Fail data record N's write with a genuine
+          [Unix.Unix_error (ENOSPC, ..)] — surfaced by [Record_log] as
+          [Sys_error], like any real OS write failure — once;
+          subsequent writes succeed. *)
   | Kill of int
       (** Die cleanly at the boundary {e after} data record N — the
           log is valid, the process is gone. *)

@@ -169,13 +169,22 @@ type t = {
   lock : Mutex.t;
 }
 
+(* Real OS write failures (ENOSPC, EIO...) surface as
+   [Unix.Unix_error]; every degradation handler in this layer keys on
+   [Sys_error], so unify the two here — otherwise a genuinely full
+   disk would escape the handlers that the injected faults exercise. *)
+let sys_error_of_unix e fn =
+  Sys_error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
 let write_all fd s =
   let b = Bytes.unsafe_of_string s in
   let n = Bytes.length b in
   let off = ref 0 in
-  while !off < n do
-    off := !off + Unix.write fd b !off (n - !off)
-  done
+  try
+    while !off < n do
+      off := !off + Unix.write fd b !off (n - !off)
+    done
+  with Unix.Unix_error (e, fn, _) -> raise (sys_error_of_unix e fn)
 
 let append_frame t ~is_header payload =
   Mutex.protect t.lock (fun () ->
@@ -184,7 +193,9 @@ let append_frame t ~is_header payload =
       let start = t.pos in
       let tear =
         if is_header then None
-        else Faults.on_record ()
+        else
+          try Faults.on_record ()
+          with Unix.Unix_error (e, fn, _) -> raise (sys_error_of_unix e fn)
       in
       match tear with
       | Some () ->
@@ -219,7 +230,10 @@ let append t record = append_frame t ~is_header:false (Json.to_string record)
 let sync t =
   Mutex.protect t.lock (fun () ->
       if not t.closed then
-        Runtime.Telemetry.time flush_span (fun () -> Unix.fsync t.fd))
+        Runtime.Telemetry.time flush_span (fun () ->
+            try Unix.fsync t.fd
+            with Unix.Unix_error (e, fn, _) ->
+              raise (sys_error_of_unix e fn)))
 
 let close t =
   Mutex.protect t.lock (fun () ->
@@ -232,7 +246,7 @@ let close t =
 let path t = t.path
 let git_commit () = Lazy.force git_commit_head
 
-let create ~path ?(version = 1) ?(meta = []) ~schema () =
+let create ~path ?(version = 1) ?(meta = []) ?commit ~schema () =
   let dir = Filename.dirname path in
   if dir <> "" && not (Sys.file_exists dir) then
     (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -242,18 +256,20 @@ let create ~path ?(version = 1) ?(meta = []) ~schema () =
   let t = { path; fd; pos = 0; closed = false; lock = Mutex.create () } in
   write_all fd magic;
   t.pos <- String.length magic;
-  let header =
-    { schema; version; git_commit = git_commit (); meta }
-  in
+  let commit = match commit with Some c -> c | None -> git_commit () in
+  let header = { schema; version; git_commit = commit; meta } in
   append_frame t ~is_header:true (Json.to_string (header_to_json header));
   t
 
-let open_append ~path ?(version = 1) ~schema () =
+let open_append ~path ?(version = 1) ?expect_commit ~schema () =
   if not (Sys.file_exists path) then Ok (create ~path ~version ~schema (), [])
   else
     match read ~path with
     | Error e -> Error e
     | Ok r ->
+      let expect =
+        match expect_commit with Some c -> c | None -> git_commit ()
+      in
       if r.header.schema <> schema then
         Error
           (Printf.sprintf "%s: schema mismatch (log %S, expected %S)" path
@@ -262,6 +278,19 @@ let open_append ~path ?(version = 1) ~schema () =
         Error
           (Printf.sprintf "%s: version mismatch (log %d, expected %d)" path
              r.header.version version)
+      else if
+        (* Cached evaluation results are replayed bit-for-bit, so a log
+           written by a different build of the model must not be served.
+           "unknown" (no git metadata) disables the check rather than
+           invalidating every log. *)
+        r.header.git_commit <> "unknown"
+        && expect <> "unknown"
+        && r.header.git_commit <> expect
+      then
+        Error
+          (Printf.sprintf
+             "%s: git commit mismatch (log %s, current %s); stale results"
+             path r.header.git_commit expect)
       else begin
         let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
         (* Chop any torn tail so new frames land on a record boundary. *)

@@ -19,22 +19,30 @@ type t
 
 val create :
   path:string -> ?version:int -> ?meta:(string * Json.t) list ->
-  schema:string -> unit -> t
+  ?commit:string -> schema:string -> unit -> t
 (** Creates (or truncates) a log at [path] and writes the header.
-    Creates the parent directory if missing (one level). *)
+    Creates the parent directory if missing (one level).  [commit]
+    overrides the recorded provenance (default: [git_commit ()]) —
+    tests use it to exercise the mismatch path. *)
 
 val open_append :
-  path:string -> ?version:int -> schema:string -> unit ->
-  (t * Json.t list, string) result
+  path:string -> ?version:int -> ?expect_commit:string ->
+  schema:string -> unit -> (t * Json.t list, string) result
 (** Reopens an existing log for appending, first recovering its valid
     prefix (a torn tail is truncated away).  Returns the writer and the
     replayed data records in write order.  Creates a fresh log if
-    [path] does not exist.  Fails on magic/schema/version mismatch. *)
+    [path] does not exist.  Fails on magic/schema/version mismatch, and
+    on a git-commit mismatch against [expect_commit] (default:
+    [git_commit ()]) — replayed results must come from the same build
+    of the model.  A commit of ["unknown"] on either side disables the
+    commit check. *)
 
 val append : t -> Json.t -> unit
 (** Appends one record.  Raises [Sys_error] on real write failure
     (after restoring the record boundary) and [Faults.Injected] when an
-    armed fault fires. *)
+    armed fault fires.  OS-level failures ([Unix.Unix_error], e.g.
+    ENOSPC/EIO) are re-raised as [Sys_error] so callers have a single
+    degradation signal. *)
 
 val sync : t -> unit
 (** fsync to stable storage. *)

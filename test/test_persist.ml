@@ -246,6 +246,43 @@ let record_log_tests =
           Persist.Record_log.close t;
           Alcotest.fail "schema mismatch accepted");
         rm path);
+    case "open_append rejects a git-commit mismatch" (fun () ->
+        let path = fresh "commit" in
+        let t =
+          Persist.Record_log.create ~path ~commit:"aaaa1111" ~schema:"test" ()
+        in
+        Persist.Record_log.append t (J.Int 1);
+        Persist.Record_log.close t;
+        (match
+           Persist.Record_log.open_append ~path ~expect_commit:"bbbb2222"
+             ~schema:"test" ()
+         with
+        | Error _ -> ()
+        | Ok (t, _) ->
+          Persist.Record_log.close t;
+          Alcotest.fail "log from a different commit accepted");
+        (match
+           Persist.Record_log.open_append ~path ~expect_commit:"aaaa1111"
+             ~schema:"test" ()
+         with
+        | Ok (t, replayed) ->
+          Persist.Record_log.close t;
+          Alcotest.(check int) "same commit replays" 1 (List.length replayed)
+        | Error msg -> Alcotest.failf "same-commit reopen failed: %s" msg);
+        rm path);
+    case "unknown commit disables the provenance check" (fun () ->
+        let path = fresh "commit_unknown" in
+        let t =
+          Persist.Record_log.create ~path ~commit:"unknown" ~schema:"test" ()
+        in
+        Persist.Record_log.close t;
+        (match
+           Persist.Record_log.open_append ~path ~expect_commit:"bbbb2222"
+             ~schema:"test" ()
+         with
+        | Ok (t, _) -> Persist.Record_log.close t
+        | Error msg -> Alcotest.failf "unknown-commit log rejected: %s" msg);
+        rm path);
     case "snapshot compaction rewrites atomically" (fun () ->
         let path = fresh "snap" in
         write_log path (mk_records 6);
@@ -395,6 +432,21 @@ let cache_tests =
         with_cache_dir (fun () ->
             Alcotest.(check (option reject)) "not on disk" None
               (Persist.Cache.find test_cache "lost")));
+    case "degraded cache stops touching the disk" (fun () ->
+        with_cache_dir (fun () ->
+            (* Two armed ENOSPC faults: the first degrades the cache;
+               the second would fire if the next store still attempted
+               a disk append. *)
+            with_faults
+              [ Persist.Faults.Enospc 0; Persist.Faults.Enospc 1 ]
+              (fun () ->
+                let before = Persist.Faults.injected_count () in
+                Persist.Cache.add test_cache "d1" (J.Int 1);
+                Persist.Cache.add test_cache "d2" (J.Int 2);
+                Alcotest.(check int) "one failed write total" 1
+                  (Persist.Faults.injected_count () - before));
+            Alcotest.(check bool) "memory tier still serves" true
+              (Persist.Cache.find test_cache "d2" = Some (J.Int 2))));
   ]
 
 (* ----- Checkpoint / resume bit-identity ----- *)
@@ -481,6 +533,68 @@ let checkpoint_tests =
         Persist.Checkpoint.close j;
         rm path;
         Alcotest.(check string) "winner unaffected" (Lazy.force base_checksum) cs);
+    case "checkpoint write failure degrades once, results survive" (fun () ->
+        let path = fresh "degrade" in
+        let j = open_journal ~path ~resume:false in
+        with_faults
+          [ Persist.Faults.Enospc 0; Persist.Faults.Enospc 1 ]
+          (fun () ->
+            let before = Persist.Faults.injected_count () in
+            Persist.Checkpoint.record j ~task:"t" ~chunk:0 (J.Int 10);
+            Persist.Checkpoint.record j ~task:"t" ~chunk:1 (J.Int 11);
+            Alcotest.(check int) "one failed write total" 1
+              (Persist.Faults.injected_count () - before));
+        (* The in-memory journal still answers for both chunks. *)
+        Alcotest.(check bool) "chunk 0 kept" true
+          (Persist.Checkpoint.completed j ~task:"t" ~chunk:0 = Some (J.Int 10));
+        Alcotest.(check bool) "chunk 1 kept" true
+          (Persist.Checkpoint.completed j ~task:"t" ~chunk:1 = Some (J.Int 11));
+        Persist.Checkpoint.close j;
+        rm path);
+    case "resume recomputes chunks whose stored best no longer decodes"
+      (fun () ->
+        (* Models a journal written before e.g. Geometry invariants were
+           tightened: the record is present and matches the task, but
+           its stored best fails to decode.  The chunk must be
+           recomputed, not replayed as empty. *)
+        let mangle_best = function
+          | J.Obj kv ->
+            J.Obj
+              (List.map
+                 (fun (k, v) ->
+                   match (k, v) with
+                   | "data", J.Obj dkv ->
+                     ( k,
+                       J.Obj
+                         (List.map
+                            (fun (dk, dv) ->
+                              if dk = "best" then
+                                (dk, J.Obj [ ("geometry", J.Null) ])
+                              else (dk, dv))
+                            dkv) )
+                   | _ -> (k, v))
+                 kv)
+          | j -> j
+        in
+        let path = fresh "undecodable" in
+        let pool = Runtime.Pool.create ~jobs:1 () in
+        Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) @@ fun () ->
+        let j = open_journal ~path ~resume:false in
+        ignore (sweep ~journal:j ~pool ());
+        Persist.Checkpoint.close j;
+        (match Persist.Record_log.read ~path with
+        | Error e -> Alcotest.fail e
+        | Ok r ->
+          Persist.Record_log.write_snapshot ~path ~schema:"sweep-journal"
+            (List.map mangle_best r.records));
+        let j = open_journal ~path ~resume:true in
+        Alcotest.(check bool) "mangled chunks replayed" true
+          (Persist.Checkpoint.replayed j > 0);
+        let cs = Opt.Exhaustive.checksum [ sweep ~journal:j ~pool () ] in
+        Persist.Checkpoint.close j;
+        rm path;
+        Alcotest.(check string) "winner recomputed identically"
+          (Lazy.force base_checksum) cs);
     kill_resume_case 1;
     kill_resume_case 2;
     kill_resume_case 4;
