@@ -6,10 +6,11 @@
 #   make bench-smoke   staged-kernel benchmark, reduced space, no JSON
 #   make bench-obs     observability overhead benchmark (writes BENCH_obs.json)
 #   make bench-persist checkpoint/resume bit-identity benchmark (BENCH_persist.json)
+#   make bench-serve   daemon load-generator benchmark (writes BENCH_serve.json)
 #   make regen-golden  deliberately rewrite test/golden/* (review the diff!)
 
 .PHONY: all check check-tests test bench bench-kernel bench-smoke bench-obs \
-        bench-persist regen-golden clean
+        bench-persist bench-serve regen-golden clean
 
 all:
 	dune build
@@ -21,6 +22,7 @@ check: check-tests
 	dune exec bench/main.exe -- kernel --smoke
 	dune exec bench/main.exe -- obs --smoke
 	dune exec bench/main.exe -- persist --smoke
+	dune exec bench/main.exe -- serve --smoke
 
 # A test file that exists but is missing from the dune test stanza is
 # silently never run; fail loudly instead.
@@ -50,6 +52,9 @@ bench-obs:
 
 bench-persist:
 	dune exec bench/main.exe -- persist
+
+bench-serve:
+	dune exec bench/main.exe -- serve
 
 regen-golden:
 	dune exec test/regen_golden.exe -- test/golden

@@ -1297,6 +1297,333 @@ let persist_bench () =
   end;
   if not pass then exit 1
 
+(* ----- serve: the daemon under concurrent clients ----- *)
+
+(* The daemon is measured as a real separate process: fork a child that
+   runs [Serve.Server.run] on a Unix socket under a temp dir, then
+   drive it through [Serve.Client].  Client-side concurrency also comes
+   from forked workers (the blocking client carries one outstanding
+   request per connection), which keeps the parent free of worker
+   domains: default jobs are forced to 1 before every fork, so only the
+   server child ever spawns domains.
+
+   Three gates (the --smoke run enforces them too):
+     1. the server answers every request;
+     2. a repeated query (warm memo) is faster than its cold first ask;
+     3. every response checksum equals the in-process one-shot result
+        for the same query — the wire adds no drift. *)
+
+type serve_row = {
+  sr_jobs : int;
+  sr_cold_s : float;  (* median cold (first-ask) latency *)
+  sr_warm_s : float;  (* median repeat-ask latency *)
+  sr_p50_s : float;   (* client-observed, under concurrent load *)
+  sr_p99_s : float;
+  sr_wall_s : float;
+  sr_requests : int;
+  sr_rps : float;
+  sr_hits : int;      (* framework.optimize memo, from the stats endpoint *)
+  sr_misses : int;
+  sr_identical : bool;
+  sr_server : Sram_edp.Json_out.t;  (* serve.* counters, from stats *)
+}
+
+let serve_fork_server ~dir jobs =
+  Runtime.Pool.set_default_jobs 1;
+  let path = Filename.concat dir (Printf.sprintf "serve_%d.sock" jobs) in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (* Every jobs level starts cold, whatever the parent computed for
+       its reference checksums before forking. *)
+    Runtime.Memo.reset_all ();
+    Runtime.Telemetry.reset ();
+    Obs.Histogram.reset_all ();
+    Runtime.Pool.set_default_jobs jobs;
+    let cfg =
+      { Serve.Server.default_config with
+        Serve.Server.socket_path = Some path;
+        install_signals = false }
+    in
+    (try ignore (Serve.Server.run cfg) with _ -> ());
+    Unix._exit 0
+  | pid -> (pid, path)
+
+let serve_queries () =
+  let capacities = if !smoke then [ 1024 * 8 ] else [ 1024 * 8; 4096 * 8 ] in
+  List.concat_map
+    (fun capacity_bits ->
+      List.map
+        (fun (c : Sram_edp.Framework.config) ->
+          { Serve.Protocol.default_query with
+            Serve.Protocol.capacity_bits;
+            flavor = c.Sram_edp.Framework.flavor;
+            method_ = c.Sram_edp.Framework.method_;
+            space = Serve.Protocol.reduced_override })
+        Sram_edp.Framework.all_configs)
+    capacities
+
+let serve_reference_checksum (q : Serve.Protocol.query) =
+  let o =
+    Sram_edp.Framework.optimize
+      ~space:(Serve.Protocol.space_of_override q.Serve.Protocol.space)
+      ~objective:q.Serve.Protocol.objective
+      ~accounting:q.Serve.Protocol.accounting ~w:q.Serve.Protocol.w
+      ~capacity_bits:q.Serve.Protocol.capacity_bits
+      ~config:
+        { Sram_edp.Framework.flavor = q.Serve.Protocol.flavor;
+          method_ = q.Serve.Protocol.method_ }
+      ()
+  in
+  checksum_designs [ o.Sram_edp.Framework.result ]
+
+let serve_median a =
+  let a = Array.copy a in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let serve_percentile a p =
+  let a = Array.copy a in
+  Array.sort compare a;
+  let n = Array.length a in
+  a.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+(* One worker process: its share of the load, latencies up the pipe as
+   one "%.17g" line each.  Exit 0 = every response arrived and its
+   decoded winner re-derives the server's checksum. *)
+let serve_client_worker ~path ~queries ~reps wfd =
+  Runtime.Memo.reset_all ();
+  let oc = Unix.out_channel_of_descr wfd in
+  let ok = ref true in
+  (match Serve.Client.connect ~socket_path:path () with
+  | Error _ -> ok := false
+  | Ok c ->
+    let n = List.length queries in
+    for i = 0 to reps - 1 do
+      let q = List.nth queries (i mod n) in
+      let t0 = Unix.gettimeofday () in
+      match Serve.Client.optimize c q with
+      | Ok a ->
+        let dt = Unix.gettimeofday () -. t0 in
+        if checksum_designs [ a.Serve.Client.result ]
+           <> a.Serve.Client.checksum
+        then ok := false
+        else Printf.fprintf oc "%.17g\n" dt
+      | Error _ -> ok := false
+    done;
+    Serve.Client.close c);
+  flush oc;
+  Unix._exit (if !ok then 0 else 2)
+
+let serve_load ~path ~queries ~clients ~reps =
+  Runtime.Pool.set_default_jobs 1;
+  flush stdout;
+  flush stderr;
+  let t0 = Unix.gettimeofday () in
+  let workers =
+    List.init clients (fun _ ->
+        let rfd, wfd = Unix.pipe () in
+        match Unix.fork () with
+        | 0 ->
+          Unix.close rfd;
+          serve_client_worker ~path ~queries ~reps wfd
+        | pid ->
+          Unix.close wfd;
+          (pid, rfd))
+  in
+  let latencies = ref [] in
+  let all_ok = ref true in
+  List.iter
+    (fun (pid, rfd) ->
+      let ic = Unix.in_channel_of_descr rfd in
+      (try
+         while true do
+           latencies := float_of_string (input_line ic) :: !latencies
+         done
+       with End_of_file -> ());
+      close_in ic;
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> all_ok := false)
+    workers;
+  let wall = Unix.gettimeofday () -. t0 in
+  (Array.of_list !latencies, wall, !all_ok)
+
+let serve_level ~dir ~queries ~refs ~clients ~reps jobs =
+  let pid, path = serve_fork_server ~dir jobs in
+  let give_up msg =
+    Printf.printf "serve bench (%d jobs): %s\n" jobs msg;
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    ignore (Unix.waitpid [] pid);
+    exit 1
+  in
+  match Serve.Client.wait_ready ~socket_path:path () with
+  | Error e -> give_up ("server did not come up: " ^ e)
+  | Ok c0 ->
+    let ask q =
+      let t0 = Unix.gettimeofday () in
+      match Serve.Client.optimize c0 q with
+      | Ok a -> (a, Unix.gettimeofday () -. t0)
+      | Error e -> give_up ("optimize failed: " ^ e)
+    in
+    let cold = List.map ask queries in
+    let warm = List.map ask queries in
+    let identical =
+      List.for_all2
+        (fun (a, _) r -> a.Serve.Client.checksum = r)
+        cold refs
+      && List.for_all2
+           (fun (a, _) r -> a.Serve.Client.checksum = r)
+           warm refs
+    in
+    let lat_of pass = Array.of_list (List.map snd pass) in
+    let latencies, wall, workers_ok =
+      serve_load ~path ~queries ~clients ~reps
+    in
+    if not workers_ok then give_up "a load-generator worker failed";
+    let requests = Array.length latencies in
+    if requests <> clients * reps then give_up "lost responses under load";
+    let hits, misses, server_counters =
+      match Serve.Client.stats c0 with
+      | Error e -> give_up ("stats failed: " ^ e)
+      | Ok stats ->
+        let hm =
+          match Persist.Json.member "memos" stats with
+          | Some (Persist.Json.List memos) ->
+            List.fold_left
+              (fun acc m ->
+                match Persist.Json.string_field m "name" with
+                | Some "framework.optimize" -> (
+                  match
+                    ( Persist.Json.int_field m "hits",
+                      Persist.Json.int_field m "misses" )
+                  with
+                  | Some h, Some mi -> (h, mi)
+                  | _ -> acc)
+                | _ -> acc)
+              (0, 0) memos
+          | _ -> (0, 0)
+        in
+        let rec jo = function
+          | Persist.Json.Null -> Sram_edp.Json_out.Null
+          | Persist.Json.Bool b -> Sram_edp.Json_out.Bool b
+          | Persist.Json.Int i -> Sram_edp.Json_out.Int i
+          | Persist.Json.Float f -> Sram_edp.Json_out.Float f
+          | Persist.Json.String s -> Sram_edp.Json_out.String s
+          | Persist.Json.List l -> Sram_edp.Json_out.List (List.map jo l)
+          | Persist.Json.Obj o ->
+            Sram_edp.Json_out.Obj (List.map (fun (k, v) -> (k, jo v)) o)
+        in
+        let counters =
+          match Persist.Json.member "server" stats with
+          | Some s -> jo s
+          | None -> Sram_edp.Json_out.Null
+        in
+        (fst hm, snd hm, counters)
+    in
+    (match Serve.Client.shutdown c0 with
+    | Ok () -> ()
+    | Error e -> give_up ("shutdown failed: " ^ e));
+    Serve.Client.close c0;
+    ignore (Unix.waitpid [] pid);
+    { sr_jobs = jobs;
+      sr_cold_s = serve_median (lat_of cold);
+      sr_warm_s = serve_median (lat_of warm);
+      sr_p50_s = serve_percentile latencies 0.50;
+      sr_p99_s = serve_percentile latencies 0.99;
+      sr_wall_s = wall;
+      sr_requests = requests;
+      sr_rps = float_of_int requests /. wall;
+      sr_hits = hits;
+      sr_misses = misses;
+      sr_identical = identical;
+      sr_server = server_counters }
+
+let serve_bench () =
+  section "Serve: daemon latency/throughput under concurrent clients";
+  Obs.Control.set_enabled true;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "sram_opt_bench_serve"
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let queries = serve_queries () in
+  let refs = List.map serve_reference_checksum queries in
+  let clients = if !smoke then 2 else 4 in
+  let reps = if !smoke then 8 else 64 in
+  let jobs_list = if !smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  Printf.printf
+    "%d distinct queries (reduced space), %d clients x %d requests each\n"
+    (List.length queries) clients reps;
+  let rows = List.map (serve_level ~dir ~queries ~refs ~clients ~reps) jobs_list in
+  let table =
+    Sram_edp.Report.create
+      ~columns:
+        [ "jobs"; "cold"; "warm"; "speedup"; "p50"; "p99"; "req/s";
+          "memo hits"; "bit-identical" ]
+  in
+  List.iter
+    (fun r ->
+      Sram_edp.Report.add_row table
+        [ string_of_int r.sr_jobs;
+          Printf.sprintf "%.2f ms" (1e3 *. r.sr_cold_s);
+          Printf.sprintf "%.3f ms" (1e3 *. r.sr_warm_s);
+          Printf.sprintf "%.0fx" (r.sr_cold_s /. r.sr_warm_s);
+          Printf.sprintf "%.3f ms" (1e3 *. r.sr_p50_s);
+          Printf.sprintf "%.3f ms" (1e3 *. r.sr_p99_s);
+          Printf.sprintf "%.0f" r.sr_rps;
+          Printf.sprintf "%d/%d" r.sr_hits (r.sr_hits + r.sr_misses);
+          (if r.sr_identical then "yes" else "NO") ])
+    rows;
+  Sram_edp.Report.print table;
+  let pass =
+    List.for_all (fun r -> r.sr_identical && r.sr_warm_s < r.sr_cold_s) rows
+  in
+  Printf.printf
+    "server answers, warm beats cold, responses match the one-shot CLI: %s\n"
+    (if pass then "yes" else "NO");
+  if not !smoke then begin
+    let json =
+      Sram_edp.Json_out.Obj
+        [ ("benchmark", Sram_edp.Json_out.String "serve");
+          ("git_commit", Sram_edp.Json_out.String (git_commit ()));
+          ("host_cores",
+           Sram_edp.Json_out.Int (Domain.recommended_domain_count ()));
+          ("queries", Sram_edp.Json_out.Int (List.length queries));
+          ("clients", Sram_edp.Json_out.Int clients);
+          ("requests_per_client", Sram_edp.Json_out.Int reps);
+          ("pass", Sram_edp.Json_out.Bool pass);
+          ("runs",
+           Sram_edp.Json_out.List
+             (List.map
+                (fun r ->
+                  Sram_edp.Json_out.Obj
+                    [ ("jobs", Sram_edp.Json_out.Int r.sr_jobs);
+                      ("cold_median_s", Sram_edp.Json_out.Float r.sr_cold_s);
+                      ("warm_median_s", Sram_edp.Json_out.Float r.sr_warm_s);
+                      ("warm_speedup",
+                       Sram_edp.Json_out.Float (r.sr_cold_s /. r.sr_warm_s));
+                      ("load_p50_s", Sram_edp.Json_out.Float r.sr_p50_s);
+                      ("load_p99_s", Sram_edp.Json_out.Float r.sr_p99_s);
+                      ("load_wall_s", Sram_edp.Json_out.Float r.sr_wall_s);
+                      ("requests", Sram_edp.Json_out.Int r.sr_requests);
+                      ("requests_per_s", Sram_edp.Json_out.Float r.sr_rps);
+                      ("memo_hits", Sram_edp.Json_out.Int r.sr_hits);
+                      ("memo_misses", Sram_edp.Json_out.Int r.sr_misses);
+                      ("bit_identical",
+                       Sram_edp.Json_out.Bool r.sr_identical);
+                      ("server", r.sr_server) ])
+                rows)) ]
+    in
+    let oc = open_out "BENCH_serve.json" in
+    output_string oc (Sram_edp.Json_out.to_string_pretty json);
+    output_char oc '\n';
+    close_out oc;
+    print_endline "wrote BENCH_serve.json"
+  end;
+  if not pass then exit 1
+
 (* ----- dispatch ----- *)
 
 let headline_smoke () =
@@ -1327,6 +1654,7 @@ let run_one = function
   | "kernel" -> kernel_bench ()
   | "obs" -> obs_bench ()
   | "persist" -> persist_bench ()
+  | "serve" -> serve_bench ()
   | "all" ->
     Sram_edp.Experiments.run_all ();
     ablations ();
@@ -1334,7 +1662,7 @@ let run_one = function
   | other ->
     Printf.eprintf
       "unknown experiment %S (try fig2a..fig7d, table4, headline, ablation, \
-       timing, runtime, kernel, obs, persist, all)\n"
+       timing, runtime, kernel, obs, persist, serve, all)\n"
       other;
     exit 1
 

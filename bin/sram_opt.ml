@@ -186,6 +186,20 @@ let persist_term =
   Term.(const make $ cache_dir_arg $ checkpoint_arg $ resume_arg
         $ checkpoint_every_arg)
 
+(* A Ctrl-C / kill during a sweep must not leave half-written logs: the
+   handler raises, the exception path below flushes and closes the open
+   checkpoint journal and cache logs (compacting where due), and the
+   process exits with the conventional 128+signal code — so the very
+   next `--resume` replays every completed chunk instead of relying on
+   torn-tail recovery. *)
+exception Interrupted of int
+
+let install_interrupt () =
+  List.map
+    (fun s ->
+      (s, Sys.signal s (Sys.Signal_handle (fun s -> raise (Interrupted s)))))
+    [ Sys.sigint; Sys.sigterm ]
+
 (* Configure the default pool and the observability layer before the
    command body, report/flush afterwards.  Every search entry point picks
    the default pool up, so --jobs needs no further plumbing; likewise the
@@ -230,7 +244,12 @@ let with_runtime ?(trace = None) ?(progress = false) ?(log_level = None)
      | None -> ());
     if persist <> None then Persist.Cache.set_dir None
   in
+  let handlers = install_interrupt () in
+  let restore_signals () =
+    List.iter (fun (s, h) -> Sys.set_signal s h) handlers
+  in
   let finish () =
+    restore_signals ();
     if progress then Obs.Progress.stop ();
     close_persist ();
     match trace with
@@ -249,10 +268,19 @@ let with_runtime ?(trace = None) ?(progress = false) ?(log_level = None)
       Runtime.Memo.print_stats ()
     end;
     result
+  | exception Interrupted signal ->
+    restore_signals ();
+    if progress then Obs.Progress.stop ();
+    close_persist ();
+    Printf.eprintf
+      "sram_opt: interrupted — checkpoint and cache logs flushed; \
+       rerun with --resume to continue\n%!";
+    exit (if signal = Sys.sigterm then 143 else 130)
   | exception e ->
     (* Stop the ticker domain so the exception reaches the user on a
        clean line (and the process can exit).  The journal is closed
        too — its completed chunks are what --resume replays. *)
+    restore_signals ();
     if progress then Obs.Progress.stop ();
     close_persist ();
     raise e
@@ -282,7 +310,12 @@ let optimize_cmd =
                 ("vddc_v", Sram_edp.Json_out.Float a.Array_model.Components.vddc);
                 ("vssc_v", Sram_edp.Json_out.Float a.Array_model.Components.vssc);
                 ("vwl_v", Sram_edp.Json_out.Float a.Array_model.Components.vwl);
-                ("metrics", Sram_edp.Json_out.of_metrics (Sram_edp.Framework.metrics o)) ]))
+                ("metrics", Sram_edp.Json_out.of_metrics (Sram_edp.Framework.metrics o));
+                (* Same digest the serve protocol returns, so a one-shot
+                   run and a server answer compare with string equality. *)
+                ("checksum",
+                 Sram_edp.Json_out.String
+                   (Opt.Exhaustive.checksum [ o.Sram_edp.Framework.result ])) ]))
     end
     else print_optimized o
   in
@@ -720,10 +753,227 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Write every figure's dataset as CSV files")
     Term.(const run $ dir)
 
+(* ----- serving mode ----- *)
+
+let tcp_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 ->
+        Ok ((if host = "" then "127.0.0.1" else host), p)
+      | _ -> Error (`Msg (Printf.sprintf "bad port in %S" s)))
+    | None -> Error (`Msg (Printf.sprintf "bad address %S (try HOST:PORT)" s))
+  in
+  let print ppf (h, p) = Format.fprintf ppf "%s:%d" h p in
+  Arg.conv (parse, print)
+
+let socket_arg =
+  Arg.(value & opt string "sram_opt.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket to listen on (empty string disables; \
+                 the file is created at startup and unlinked on exit).")
+
+let tcp_arg =
+  Arg.(value & opt (some tcp_conv) None
+       & info [ "tcp" ] ~docv:"HOST:PORT"
+           ~doc:"Also (or instead) listen on a TCP address, \
+                 e.g. 127.0.0.1:7070.")
+
+let deadline_ms_arg =
+  Arg.(value & opt float 0.0
+       & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Default per-request budget, measured from admission \
+                 (0 = unlimited).  A request's own deadline_ms field \
+                 overrides this.  An expired request is answered with a \
+                 'deadline' error; one that expires mid-search is \
+                 cancelled cleanly.")
+
+let serve_cmd =
+  let run socket tcp max_queue deadline_ms jobs stats trace progress log_level
+      persist =
+    with_runtime ~trace ~progress ~log_level ~persist ~jobs ~stats @@ fun () ->
+    let socket_path = if socket = "" then None else Some socket in
+    let config =
+      { Serve.Server.default_config with
+        Serve.Server.socket_path;
+        tcp;
+        max_queue;
+        default_deadline_ms = (if deadline_ms > 0.0 then Some deadline_ms else None) }
+    in
+    Printf.printf "sram_opt serve: pid %d, jobs %d, listening on %s%s\n%!"
+      (Unix.getpid ()) jobs
+      (match socket_path with Some p -> p | None -> "")
+      (match tcp with
+       | Some (h, p) ->
+         (if socket_path = None then "" else " and ") ^ Printf.sprintf "%s:%d" h p
+       | None -> "");
+    let s = Serve.Server.run config in
+    Printf.printf
+      "sram_opt serve: drained — %d connections, %d served, %d errors\n%!"
+      s.Serve.Server.connections s.Serve.Server.served s.Serve.Server.errors
+  in
+  let max_queue =
+    Arg.(value & opt int 64
+         & info [ "max-queue" ] ~docv:"N"
+             ~doc:"Admission bound: requests beyond $(docv) pending are \
+                   answered 'busy' immediately instead of queueing \
+                   unbounded latency.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the co-optimizer as a long-lived daemon answering \
+             optimization queries over a socket"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Accepts length-prefixed compact-JSON requests (see \
+               DESIGN.md \xC2\xA79) over a Unix-domain and/or TCP socket.  All \
+               requests share one warm in-memory memo and the optional \
+               $(b,--cache-dir) disk tier, so a repeated query is \
+               answered in microseconds.  SIGINT/SIGTERM drain \
+               gracefully: queued requests are answered, then the \
+               listeners close." ])
+    Term.(const run $ socket_arg $ tcp_arg $ max_queue $ deadline_ms_arg
+          $ jobs_arg $ stats_arg $ trace_arg $ progress_arg $ log_level_arg
+          $ persist_term)
+
+let query_cmd =
+  let endpoint_conv =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "optimize" -> Ok `Optimize
+      | "ping" -> Ok `Ping
+      | "stats" -> Ok `Stats
+      | "shutdown" -> Ok `Shutdown
+      | _ ->
+        Error (`Msg (Printf.sprintf "bad endpoint %S (optimize|ping|stats|shutdown)" s))
+    in
+    let print ppf e =
+      Format.fprintf ppf "%s"
+        (match e with
+         | `Optimize -> "optimize" | `Ping -> "ping"
+         | `Stats -> "stats" | `Shutdown -> "shutdown")
+    in
+    Arg.conv (parse, print)
+  in
+  let objective_conv =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "edp" -> Ok Opt.Objective.Energy_delay_product
+      | "ed2" -> Ok Opt.Objective.Energy_delay_squared
+      | "energy" -> Ok Opt.Objective.Energy_only
+      | "delay" -> Ok Opt.Objective.Delay_only
+      | _ -> Error (`Msg (Printf.sprintf "bad objective %S (edp|ed2|energy|delay)" s))
+    in
+    let print ppf o = Format.fprintf ppf "%s" (Opt.Objective.name o) in
+    Arg.conv (parse, print)
+  in
+  let run socket tcp endpoint capacity flavor method_ objective accounting
+      reduced deadline_ms json =
+    let socket_path = if socket = "" then None else Some socket in
+    let deadline_ms = if deadline_ms > 0.0 then Some deadline_ms else None in
+    let connected =
+      match tcp with
+      | Some addr -> Serve.Client.connect ~tcp:addr ()
+      | None -> Serve.Client.connect ?socket_path ()
+    in
+    match connected with
+    | Error e ->
+      Printf.eprintf "sram_opt query: %s\n" e;
+      exit 1
+    | Ok client ->
+      let finish = function
+        | Error e ->
+          Printf.eprintf "sram_opt query: %s\n" e;
+          Serve.Client.close client;
+          exit 1
+        | Ok () -> Serve.Client.close client
+      in
+      (match endpoint with
+       | `Ping ->
+         finish
+           (Result.map
+              (fun j -> print_endline (Persist.Json.to_string j))
+              (Serve.Client.ping client))
+       | `Stats ->
+         finish
+           (Result.map
+              (fun j -> print_endline (Persist.Json.to_string j))
+              (Serve.Client.stats client))
+       | `Shutdown -> finish (Serve.Client.shutdown client)
+       | `Optimize ->
+         let query =
+           { Serve.Protocol.default_query with
+             Serve.Protocol.capacity_bits = capacity;
+             flavor;
+             method_;
+             objective;
+             accounting;
+             space =
+               (if reduced then Serve.Protocol.reduced_override
+                else Serve.Protocol.no_override) }
+         in
+         finish
+           (Result.map
+              (fun (a : Serve.Client.answer) ->
+                if json then
+                  print_endline
+                    (Persist.Json.to_string
+                       (Persist.Json.Obj
+                          [ ("capacity_bits", Persist.Json.Int a.Serve.Client.capacity_bits);
+                            ("config", Persist.Json.String a.Serve.Client.config);
+                            ("checksum", Persist.Json.String a.Serve.Client.checksum);
+                            ("eval_s", Persist.Json.Float a.Serve.Client.eval_s);
+                            ("result",
+                             Opt.Exhaustive.result_to_json a.Serve.Client.result) ]))
+                else begin
+                  print_optimized
+                    { Sram_edp.Framework.capacity_bits = a.Serve.Client.capacity_bits;
+                      config = { Sram_edp.Framework.flavor; method_ };
+                      result = a.Serve.Client.result };
+                  Printf.printf "  answered in  : %.3g ms (checksum %s)\n"
+                    (1000.0 *. a.Serve.Client.eval_s) a.Serve.Client.checksum
+                end)
+              (Serve.Client.optimize ?deadline_ms client query)))
+  in
+  let endpoint_arg =
+    Arg.(value & opt endpoint_conv `Optimize
+         & info [ "endpoint"; "e" ] ~docv:"ENDPOINT"
+             ~doc:"optimize, ping, stats or shutdown.")
+  in
+  let objective_arg =
+    Arg.(value & opt objective_conv Opt.Objective.Energy_delay_product
+         & info [ "objective" ] ~docv:"OBJ" ~doc:"edp, ed2, energy or delay.")
+  in
+  let reduced_arg =
+    Arg.(value & flag
+         & info [ "reduced" ]
+             ~doc:"Search the reduced grid instead of the paper's full \
+                   space (seconds -> milliseconds; the optimum is within \
+                   a few percent).")
+  in
+  let query_deadline_arg =
+    Arg.(value & opt float 0.0
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Per-request budget sent with the query (0 = server default).")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Send one request to a running `sram_opt serve` daemon")
+    Term.(const run $ socket_arg $ tcp_arg $ endpoint_arg $ capacity_arg
+          $ flavor_arg $ method_arg $ objective_arg $ accounting_arg
+          $ reduced_arg $ query_deadline_arg $ json_flag)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
-    Cmd.info "sram_opt" ~version:"1.0.0"
+    (* The +commit suffix matches the provenance stamped into cache and
+       checkpoint log headers, so an operator can match a running
+       server or an on-disk cache against a build with --version. *)
+    Cmd.info "sram_opt"
+      ~version:("1.0.0+" ^ Persist.Record_log.git_commit ())
       ~doc:"Device-circuit-architecture co-optimization of SRAM arrays (DAC'16 reproduction)"
   in
   exit
@@ -731,4 +981,5 @@ let () =
        (Cmd.group ~default info
           [ optimize_cmd; sweep_cmd; experiments_cmd; margins_cmd; assist_cmd;
             anneal_cmd; bank_cmd; retention_cmd; corners_cmd; compare8t_cmd;
-            workload_cmd; validate_cmd; stat_cmd; datasheet_cmd; simulate_cmd; export_cmd ]))
+            workload_cmd; validate_cmd; stat_cmd; datasheet_cmd; simulate_cmd;
+            export_cmd; serve_cmd; query_cmd ]))

@@ -108,7 +108,7 @@ let env_for ~flavor ~accounting =
 
 let optimize ?space ?(objective = Opt.Objective.Energy_delay_product)
     ?(accounting = Array_model.Array_eval.Paper_strict) ?pool ?(w = 64)
-    ~capacity_bits ~config () =
+    ?deadline ~capacity_bits ~config () =
   let key =
     { k_capacity = capacity_bits; k_config = config; k_objective = objective;
       k_accounting = accounting; k_w = w;
@@ -126,7 +126,7 @@ let optimize ?space ?(objective = Opt.Objective.Energy_delay_product)
       Runtime.Telemetry.time "framework.optimize" (fun () ->
           let env = env_for ~flavor:config.flavor ~accounting in
           let result =
-            Opt.Exhaustive.search ?space ~objective ?pool ~w ~env
+            Opt.Exhaustive.search ?space ~objective ?pool ~w ?deadline ~env
               ~capacity_bits ~method_:config.method_ ()
           in
           { capacity_bits; config; result }))

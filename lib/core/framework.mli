@@ -30,6 +30,7 @@ val optimize :
   ?accounting:Array_model.Array_eval.accounting ->
   ?pool:Runtime.Pool.t ->
   ?w:int ->
+  ?deadline:float ->
   capacity_bits:int ->
   config:config ->
   unit ->
@@ -41,7 +42,11 @@ val optimize :
     serving requests for the same design are cache hits whether or not
     the space was passed explicitly.  [pool] parallelizes the underlying
     exhaustive search deterministically (default:
-    {!Runtime.Pool.default}). *)
+    {!Runtime.Pool.default}).  [deadline] (absolute
+    {!Runtime.Telemetry.now} seconds, the serving layer's per-request
+    budget) aborts a cache-missing search with
+    {!Opt.Exhaustive.Deadline_exceeded}; nothing partial is cached, and
+    a memo or disk hit is returned regardless of the deadline. *)
 
 val paper_capacities : int list
 (** 128B, 256B, 1KB, 4KB, 16KB — in bits. *)

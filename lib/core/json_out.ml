@@ -192,9 +192,34 @@ let of_telemetry (snap : Runtime.Telemetry.snapshot) =
                   ("total_s", Float s.Runtime.Telemetry.total_s) ])
             snap.Runtime.Telemetry.spans)) ]
 
+(* When the process is (or was) a server, surface the [serve.*] request
+   counters as their own section — BENCH_serve.json and the `stats`
+   endpoint then carry the serving telemetry under one key instead of
+   scattered through the flat counter list.  One-shot runs have no
+   serve counters and omit the section, keeping the other BENCH_*.json
+   schemas unchanged. *)
+let server_stats_json () =
+  let prefix = "serve." in
+  let serve_counters =
+    List.filter_map
+      (fun (name, v) ->
+        if String.starts_with ~prefix name then
+          Some
+            ( String.sub name (String.length prefix)
+                (String.length name - String.length prefix),
+              Int v )
+        else None)
+      (Runtime.Telemetry.snapshot ()).Runtime.Telemetry.counters
+  in
+  if serve_counters = [] then None else Some (Obj serve_counters)
+
 let runtime_stats_json () =
-  Obj
+  let base =
     [ ("jobs", Int (Runtime.Pool.default_jobs ()));
       ("telemetry", of_telemetry (Runtime.Telemetry.snapshot ()));
       ("memos", List (List.map of_memo_stats (Runtime.Memo.registered_stats ())));
       ("histograms", histograms_json ()) ]
+  in
+  match server_stats_json () with
+  | None -> Obj base
+  | Some server -> Obj (base @ [ ("server", server) ])

@@ -49,4 +49,8 @@ val histograms_json : unit -> t
 val runtime_stats_json : unit -> t
 (** Default-pool job count, telemetry counters/spans, every memo
     cache's hit/miss/occupancy statistics, and all non-empty latency
-    histograms — the CLI's [--stats --json] payload. *)
+    histograms — the CLI's [--stats --json] payload.  When the process
+    has served requests (any [serve.*] counter is nonzero) a ["server"]
+    section repeats the request/admission counters with the prefix
+    stripped, so the serving bench and `stats` endpoint share this
+    schema. *)

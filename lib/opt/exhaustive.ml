@@ -262,9 +262,11 @@ let task_signature ~objective ~kernel ~(env : Array_model.Array_eval.env)
     (Finfet.Library.flavor_to_string env.Array_model.Array_eval.cell_flavor)
     (Space.method_name method_) accounting capacity_bits !h
 
+exception Deadline_exceeded
+
 let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
-    ?levels ?pool ?w ?(kernel = `Staged) ?journal ~env ~capacity_bits ~method_
-    ~keep_all () =
+    ?levels ?pool ?w ?(kernel = `Staged) ?journal ?deadline ~env ~capacity_bits
+    ~method_ ~keep_all () =
   if not (Array_model.Geometry.is_power_of_two capacity_bits) then
     invalid_arg "Exhaustive.search: capacity must be a power of two";
   let pool = match pool with Some p -> p | None -> Runtime.Pool.default () in
@@ -396,6 +398,15 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
      dominate the trace buffer, so coarse traces keep only the
      structural spans (sweep / search / pool chunks). *)
   let eval_geometry g =
+    (* Deadline check at geometry granularity: one geometry's vssc scan
+       is microseconds, so an expired serving deadline stops the search
+       almost immediately.  Under a pool the exception is re-raised in
+       the caller once in-flight tasks finish — and every other chunk
+       hits this same check on its next geometry, so the whole sweep
+       drains in one scan's time rather than running to completion. *)
+    (match deadline with
+     | Some d when Runtime.Telemetry.now () > d -> raise Deadline_exceeded
+     | _ -> ());
     let r =
       if Obs.Trace.fine_active () then
         Obs.Trace.with_span "exhaustive.eval" (fun () -> eval_geometry g)
@@ -505,10 +516,10 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
         pins },
       all )
 
-let search ?space ?objective ?levels ?pool ?w ?kernel ?journal ~env
+let search ?space ?objective ?levels ?pool ?w ?kernel ?journal ?deadline ~env
     ~capacity_bits ~method_ () =
   fst
-    (run ?space ?objective ?levels ?pool ?w ?kernel ?journal ~env
+    (run ?space ?objective ?levels ?pool ?w ?kernel ?journal ?deadline ~env
        ~capacity_bits ~method_ ~keep_all:false ())
 
 let search_all ?space ?objective ?levels ?pool ?w ?kernel ~env ~capacity_bits

@@ -39,6 +39,12 @@ type result = {
 
 type kernel = [ `Staged | `Reference ]
 
+exception Deadline_exceeded
+(** Raised by {!search} when its [deadline] passes mid-sweep.  The
+    search leaves no partial state behind (nothing is memoized or
+    journaled for the aborted run), so the caller — the serving loop —
+    reports a timeout and stays healthy. *)
+
 val search :
   ?space:Space.t ->
   ?objective:Objective.t ->
@@ -47,6 +53,7 @@ val search :
   ?w:int ->
   ?kernel:kernel ->
   ?journal:Persist.Checkpoint.t ->
+  ?deadline:float ->
   env:Array_model.Array_eval.env ->
   capacity_bits:int ->
   method_:Space.method_ ->
@@ -70,6 +77,10 @@ val search :
     order-respecting fold as the flat one and candidates round-trip
     through JSON bit-exactly, the resumed winner is bit-identical to an
     uninterrupted run's at any [--jobs] (see DESIGN.md §8).
+
+    [deadline] — absolute {!Runtime.Telemetry.now} seconds — aborts the
+    sweep with {!Deadline_exceeded} once passed, checked before every
+    geometry scan (one scan is microseconds, so expiry is prompt).
     @raise Invalid_argument if the capacity is not a power of two or no
     geometry candidate exists. *)
 

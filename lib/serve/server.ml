@@ -1,0 +1,351 @@
+module P = Protocol
+module J = Persist.Json
+
+type config = {
+  socket_path : string option;
+  tcp : (string * int) option;
+  max_queue : int;
+  default_deadline_ms : float option;
+  max_frame : int;
+  install_signals : bool;
+}
+
+let default_config =
+  { socket_path = None;
+    tcp = None;
+    max_queue = 64;
+    default_deadline_ms = None;
+    max_frame = Frame.max_frame_default;
+    install_signals = true }
+
+type summary = {
+  connections : int;
+  served : int;
+  errors : int;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : Frame.decoder;
+  peer : string;
+  mutable alive : bool;
+}
+
+type pending = {
+  conn : conn;
+  req : P.request;
+  t_admit : float;
+}
+
+(* ----- telemetry ----- *)
+
+let now = Runtime.Telemetry.now
+let count name = Runtime.Telemetry.incr (Runtime.Telemetry.counter name)
+let h_queue_wait = lazy (Obs.Histogram.create "serve.queue_wait")
+let h_e2e = lazy (Obs.Histogram.create "serve.e2e")
+let h_handle name = Obs.Histogram.create ("serve.handle." ^ name)
+
+(* ----- request evaluation ----- *)
+
+let error code message = Error (code, message)
+
+let optimize_payload (q : P.query) ~deadline =
+  let space =
+    if q.P.space = P.no_override then None
+    else Some (P.space_of_override q.P.space)
+  in
+  let config =
+    { Sram_edp.Framework.flavor = q.P.flavor; method_ = q.P.method_ }
+  in
+  let t0 = now () in
+  match
+    Sram_edp.Framework.optimize ?space ~objective:q.P.objective
+      ~accounting:q.P.accounting ~w:q.P.w ?deadline
+      ~capacity_bits:q.P.capacity_bits ~config ()
+  with
+  | o ->
+    let result = o.Sram_edp.Framework.result in
+    Ok
+      (J.Obj
+         [ ("capacity_bits", J.Int q.P.capacity_bits);
+           ("config", J.String (Sram_edp.Framework.config_name config));
+           ("checksum", J.String (Opt.Exhaustive.checksum [ result ]));
+           ("eval_s", J.Float (now () -. t0));
+           ("result", Opt.Exhaustive.result_to_json result) ])
+  | exception Opt.Exhaustive.Deadline_exceeded ->
+    count "serve.deadline_expired";
+    error P.Deadline "deadline passed during the search"
+  | exception Invalid_argument msg -> error P.Bad_request msg
+
+let stats_payload () =
+  (* [Json_out] and the wire use different JSON trees (emit-only vs
+     emit+parse); round-tripping through the compact string unifies
+     them at a cost of ~µs per stats call. *)
+  match J.of_string (Sram_edp.Json_out.to_string (Sram_edp.Json_out.runtime_stats_json ())) with
+  | Ok j -> Ok j
+  | Error e -> error P.Internal ("stats serialization: " ^ e)
+
+let handle ~default_deadline_ms ~draining (p : pending) =
+  let wait = now () -. p.t_admit in
+  Obs.Histogram.observe (Lazy.force h_queue_wait) wait;
+  count ("serve.req." ^ P.endpoint_name p.req.P.endpoint);
+  let deadline =
+    match
+      (p.req.P.deadline_ms, default_deadline_ms)
+    with
+    | Some ms, _ | None, Some ms -> Some (p.t_admit +. (ms /. 1000.0))
+    | None, None -> None
+  in
+  let expired = match deadline with Some d -> now () > d | None -> false in
+  let body =
+    if expired then begin
+      count "serve.deadline_expired";
+      error P.Deadline "deadline passed while queued"
+    end
+    else
+      let h = h_handle (P.endpoint_name p.req.P.endpoint) in
+      Obs.Histogram.time h @@ fun () ->
+      match p.req.P.endpoint with
+      | P.Ping ->
+        Ok
+          (J.Obj
+             [ ("pid", J.Int (Unix.getpid ()));
+               ("git_commit", J.String (Persist.Record_log.git_commit ())) ])
+      | P.Stats -> stats_payload ()
+      | P.Shutdown ->
+        draining := true;
+        Ok (J.Obj [ ("draining", J.Bool true) ])
+      | P.Optimize q -> (
+        try optimize_payload q ~deadline
+        with e ->
+          error P.Internal (Printexc.to_string e))
+  in
+  { P.rid = p.req.P.id; body }
+
+(* ----- socket plumbing ----- *)
+
+(* Frames are small (requests ~200 B, responses a few KB), so writes
+   briefly flip the descriptor back to blocking rather than running a
+   writable-select state machine; a dead peer surfaces as EPIPE, which
+   just drops the connection. *)
+let send conn response =
+  if conn.alive then begin
+    let payload = J.to_string (P.response_to_json response) in
+    match
+      Unix.clear_nonblock conn.fd;
+      Fun.protect
+        ~finally:(fun () -> try Unix.set_nonblock conn.fd with _ -> ())
+        (fun () -> Frame.write conn.fd payload)
+    with
+    | () -> ()
+    | exception Unix.Unix_error _ ->
+      Obs.Log.info ~section:"serve" "dropping %s: peer went away mid-response"
+        conn.peer;
+      conn.alive <- false
+  end
+
+let close_conn conn =
+  if conn.alive then conn.alive <- false;
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let listen_unix path =
+  (match Unix.stat path with
+   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+   | _ -> failwith (Printf.sprintf "%s exists and is not a socket" path)
+   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  fd
+
+let listen_tcp host port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  fd
+
+let peer_name fd =
+  match Unix.getpeername fd with
+  | Unix.ADDR_UNIX _ -> "unix"
+  | Unix.ADDR_INET (a, p) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+  | exception Unix.Unix_error _ -> "?"
+
+(* ----- the serve loop ----- *)
+
+let run config =
+  if config.socket_path = None && config.tcp = None then
+    invalid_arg "Serve.Server.run: no listener configured";
+  Obs.Control.set_enabled true;
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let draining = ref false in
+  let old_handlers =
+    if not config.install_signals then []
+    else
+      List.map
+        (fun s ->
+          ( s,
+            Sys.signal s
+              (Sys.Signal_handle
+                 (fun _ ->
+                   (* First signal drains; an operator mashing Ctrl-C
+                      means now. *)
+                   if !draining then Stdlib.exit 130 else draining := true)) ))
+        [ Sys.sigint; Sys.sigterm ]
+  in
+  let listeners =
+    (match config.socket_path with
+     | Some path -> [ listen_unix path ]
+     | None -> [])
+    @ (match config.tcp with
+       | Some (host, port) -> [ listen_tcp host port ]
+       | None -> [])
+  in
+  let conns = ref [] in
+  let queue : pending Queue.t = Queue.create () in
+  let connections = ref 0 and served = ref 0 and errors = ref 0 in
+  let read_buf = Bytes.create 65536 in
+  let respond conn (r : P.response) =
+    (match r.P.body with
+     | Ok _ -> incr served
+     | Error _ -> incr errors; count "serve.errors");
+    count "serve.responses";
+    send conn r
+  in
+  let admit conn (req : P.request) =
+    count "serve.requests";
+    if !draining then
+      respond conn
+        { P.rid = req.P.id;
+          body = error P.Shutting_down "server is draining" }
+    else if Queue.length queue >= config.max_queue then begin
+      count "serve.rejected_busy";
+      respond conn
+        { P.rid = req.P.id;
+          body =
+            error P.Busy
+              (Printf.sprintf "admission queue full (%d pending)"
+                 config.max_queue) }
+    end
+    else Queue.add { conn; req; t_admit = now () } queue
+  in
+  (* Parse every complete frame buffered on the connection.  A framing
+     error (oversized, checksum) means the byte stream can no longer be
+     trusted: answer once and drop the connection.  A well-framed but
+     malformed request only fails that request. *)
+  let drain_frames conn =
+    let continue = ref true in
+    while !continue && conn.alive do
+      match Frame.next conn.dec with
+      | Ok None -> continue := false
+      | Ok (Some payload) -> (
+        match Result.bind (J.of_string payload) P.request_of_json with
+        | Ok req -> admit conn req
+        | Error e ->
+          count "serve.bad_request";
+          respond conn { P.rid = 0; body = error P.Bad_request e }
+        | exception _ ->
+          count "serve.bad_request";
+          respond conn
+            { P.rid = 0; body = error P.Bad_request "unparseable request" })
+      | Error e ->
+        count "serve.bad_frame";
+        respond conn
+          { P.rid = 0; body = error P.Bad_request (Frame.error_to_string e) };
+        close_conn conn;
+        continue := false
+    done
+  in
+  let pump_conn conn =
+    let continue = ref true in
+    while !continue && conn.alive do
+      match Unix.read conn.fd read_buf 0 (Bytes.length read_buf) with
+      | 0 ->
+        if Frame.buffered conn.dec > 0 then
+          Obs.Log.info ~section:"serve"
+            "%s closed mid-frame (%d bytes undelivered)" conn.peer
+            (Frame.buffered conn.dec);
+        close_conn conn;
+        continue := false
+      | n ->
+        Frame.feed conn.dec read_buf n;
+        if n < Bytes.length read_buf then continue := false
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ ->
+        close_conn conn;
+        continue := false
+    done;
+    if conn.alive then drain_frames conn
+  in
+  let accept_all listener =
+    let continue = ref true in
+    while !continue do
+      match Unix.accept ~cloexec:true listener with
+      | fd, _ ->
+        if !draining then (try Unix.close fd with Unix.Unix_error _ -> ())
+        else begin
+          Unix.set_nonblock fd;
+          incr connections;
+          count "serve.connections";
+          conns :=
+            { fd;
+              dec = Frame.decoder ~max_len:config.max_frame ();
+              peer = peer_name fd;
+              alive = true }
+            :: !conns
+        end
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
+  let pump timeout =
+    conns := List.filter (fun c -> c.alive) !conns;
+    let watched = listeners @ List.map (fun c -> c.fd) !conns in
+    match Unix.select watched [] [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+      List.iter
+        (fun fd ->
+          if List.mem fd listeners then accept_all fd
+          else
+            match List.find_opt (fun c -> c.fd = fd) !conns with
+            | Some conn -> pump_conn conn
+            | None -> ())
+        ready
+  in
+  Obs.Log.info ~section:"serve" "serving (queue %d, default deadline %s)"
+    config.max_queue
+    (match config.default_deadline_ms with
+     | Some ms -> Printf.sprintf "%.0f ms" ms
+     | None -> "none");
+  while not (!draining && Queue.is_empty queue) do
+    pump (if Queue.is_empty queue then 0.25 else 0.0);
+    match Queue.take_opt queue with
+    | None -> ()
+    | Some p ->
+      let r =
+        handle ~default_deadline_ms:config.default_deadline_ms ~draining p
+      in
+      respond p.conn r;
+      Obs.Histogram.observe (Lazy.force h_e2e) (now () -. p.t_admit)
+  done;
+  List.iter close_conn !conns;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
+  (match config.socket_path with
+   | Some path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+   | None -> ());
+  List.iter (fun (s, h) -> Sys.set_signal s h) old_handlers;
+  Sys.set_signal Sys.sigpipe old_pipe;
+  Obs.Log.info ~section:"serve" "drained: %d connections, %d served, %d errors"
+    !connections !served !errors;
+  { connections = !connections; served = !served; errors = !errors }

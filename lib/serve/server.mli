@@ -1,0 +1,55 @@
+(** The optimizer-as-a-service daemon: a select-driven serve loop over
+    Unix-domain (and optionally TCP) listeners speaking the
+    length-prefixed {!Protocol} over {!Frame}s.
+
+    Concurrency model: client connections multiplex on one event loop;
+    admitted requests queue (bounded — over-admission answers [Busy]
+    immediately rather than building unbounded latency) and evaluate
+    one at a time on the process's shared {!Runtime.Pool} (the CLI's
+    [--jobs]), so a single query already saturates the machine and two
+    queries never fight for cores.  All requests share the process-wide
+    warm {!Runtime.Memo} tier and the [--cache-dir] disk tier: a
+    repeated query is a cache hit (~µs) regardless of which connection
+    asks.
+
+    Deadlines: each request's budget (its own [deadline_ms], or the
+    server default) starts at admission.  An expired request is
+    answered [Deadline] without evaluating; one that expires mid-search
+    is cancelled via {!Opt.Exhaustive.Deadline_exceeded} and answered
+    [Deadline] — the server and its caches stay consistent because an
+    aborted search stores nothing.
+
+    Shutdown: SIGINT / SIGTERM (when [install_signals]) or the
+    [shutdown] endpoint put the loop into drain mode — no new
+    connections or requests are admitted (late arrivals get
+    [Shutting_down]), queued requests are answered, then listeners
+    close and {!run} returns.  A second signal exits immediately.
+
+    Telemetry: per-endpoint counters ([serve.req.*]) and latency
+    histograms ([serve.queue_wait], [serve.handle.*], [serve.e2e])
+    feed [--stats], the [stats] endpoint and BENCH_serve.json. *)
+
+type config = {
+  socket_path : string option;  (** Unix-domain listener (unlinked on exit) *)
+  tcp : (string * int) option;  (** optional (host, port) TCP listener *)
+  max_queue : int;              (** admission bound (default 64) *)
+  default_deadline_ms : float option;
+      (** budget for requests that set none; [None] = unlimited *)
+  max_frame : int;              (** per-frame byte cap *)
+  install_signals : bool;       (** drain on SIGINT/SIGTERM (default true) *)
+}
+
+val default_config : config
+(** No listeners (callers must set at least one), queue of 64, no
+    default deadline, {!Frame.max_frame_default}, signals installed. *)
+
+type summary = {
+  connections : int;  (** accepted over the server's lifetime *)
+  served : int;       (** requests answered [Ok] *)
+  errors : int;       (** requests answered with an error *)
+}
+
+val run : config -> summary
+(** Serve until drained.  Raises [Invalid_argument] when no listener is
+    configured and [Unix.Unix_error] when binding fails (e.g. a stale
+    socket path on another filesystem, a privileged TCP port). *)

@@ -1,0 +1,457 @@
+(* Tests for lib/serve: wire-frame robustness (truncated / oversized /
+   corrupted frames are typed errors, never crashes), QCheck round-trips
+   of the request/response codecs (bit-exact through every float), and
+   end-to-end daemon behaviour against a real forked server — garbage
+   frames and clients killed mid-request leave the server answering,
+   deadlines cancel cleanly, and a repeated query hits the warm memo
+   with a checksum identical to the in-process one-shot path. *)
+
+open Testutil
+module F = Serve.Frame
+module P = Serve.Protocol
+module J = Persist.Json
+
+(* ----- scratch ----- *)
+
+let tmp_root =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sram_opt_test_serve_%d" (Unix.getpid ()))
+  in
+  (if not (Sys.file_exists d) then Sys.mkdir d 0o755);
+  d
+
+let fresh_sock =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat tmp_root (Printf.sprintf "s%d.sock" !n)
+
+(* ----- frames ----- *)
+
+let with_pipe f =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () -> f r w)
+
+let check_read = Alcotest.(check (result string string))
+
+let read_str ?max_len fd =
+  Result.map_error F.error_to_string (F.read ?max_len fd)
+
+let frame_tests =
+  [ case "write/read round-trips payloads" (fun () ->
+        with_pipe (fun r w ->
+            (* Payloads must fit the pipe buffer: reader and writer are
+               the same process, so an over-full write would deadlock. *)
+            List.iter
+              (fun p ->
+                F.write w p;
+                check_read "payload" (Ok p) (read_str r))
+              [ ""; "x"; String.make 30_000 '\xff'; "{\"id\":1}" ]));
+    case "clean close between frames is Eof" (fun () ->
+        with_pipe (fun r w ->
+            Unix.close w;
+            check_read "eof" (Error "connection closed") (read_str r)));
+    case "close mid-frame is Truncated, not a hang or crash" (fun () ->
+        with_pipe (fun r w ->
+            (* Header promises 100 bytes; send 3 and die. *)
+            let b = Bytes.create 8 in
+            Bytes.set_int32_le b 0 100l;
+            Bytes.set_int32_le b 4 0l;
+            ignore (Unix.write w b 0 8);
+            ignore (Unix.write_substring w "abc" 0 3);
+            Unix.close w;
+            check_read "truncated" (Error "connection closed mid-frame")
+              (read_str r)));
+    case "length prefix beyond max_len is Oversized, no allocation"
+      (fun () ->
+        with_pipe (fun r w ->
+            let b = Bytes.create 8 in
+            Bytes.set_int32_le b 0 0x7fffff00l;
+            Bytes.set_int32_le b 4 0l;
+            ignore (Unix.write w b 0 8);
+            match F.read ~max_len:4096 r with
+            | Error (F.Oversized n) ->
+              Alcotest.(check int) "declared length" 0x7fffff00 n
+            | other ->
+              Alcotest.failf "expected Oversized, got %s"
+                (match other with
+                | Ok _ -> "a frame"
+                | Error e -> F.error_to_string e)));
+    case "corrupted payload is Crc_mismatch" (fun () ->
+        with_pipe (fun r w ->
+            let payload = "hello, server" in
+            let crc = Persist.Crc32.string payload in
+            let b = Bytes.create 8 in
+            Bytes.set_int32_le b 0 (Int32.of_int (String.length payload));
+            Bytes.set_int32_le b 4 (Int32.of_int (crc lxor 0xdead));
+            ignore (Unix.write w b 0 8);
+            ignore
+              (Unix.write_substring w payload 0 (String.length payload));
+            check_read "crc" (Error "frame checksum mismatch") (read_str r)));
+    case "decoder pops frames fed one byte at a time" (fun () ->
+        let d = F.decoder () in
+        (* Build two frames in a string via a pipe, then drip-feed. *)
+        let wire =
+          with_pipe (fun r w ->
+              F.write w "first";
+              F.write w "second";
+              Unix.close w;
+              let b = Bytes.create 4096 in
+              let n = ref 0 in
+              let k = ref (Unix.read r b !n (4096 - !n)) in
+              while !k > 0 do
+                n := !n + !k;
+                k := Unix.read r b !n (4096 - !n)
+              done;
+              Bytes.sub_string b 0 !n)
+        in
+        let got = ref [] in
+        String.iter
+          (fun c ->
+            F.feed d (Bytes.make 1 c) 1;
+            match F.next d with
+            | Ok (Some p) -> got := p :: !got
+            | Ok None -> ()
+            | Error e -> Alcotest.failf "decoder: %s" (F.error_to_string e))
+          wire;
+        Alcotest.(check (list string))
+          "frames" [ "first"; "second" ] (List.rev !got);
+        Alcotest.(check int) "nothing buffered" 0 (F.buffered d));
+    case "decoder error is sticky" (fun () ->
+        let d = F.decoder ~max_len:16 () in
+        let b = Bytes.create 8 in
+        Bytes.set_int32_le b 0 1000l;
+        Bytes.set_int32_le b 4 0l;
+        F.feed d b 8;
+        (match F.next d with
+        | Error (F.Oversized _) -> ()
+        | _ -> Alcotest.fail "expected Oversized");
+        match F.next d with
+        | Error (F.Oversized _) -> ()
+        | _ -> Alcotest.fail "error must persist")
+  ]
+
+(* ----- protocol codecs (QCheck) ----- *)
+
+let query_gen =
+  let open QCheck.Gen in
+  let farr = small_list (float_range (-2.0) 2.0) >|= Array.of_list in
+  let iarr lo hi = small_list (int_range lo hi) >|= Array.of_list in
+  let opt g = oneof [ return None; map Option.some g ] in
+  let* capacity_bits = int_range 1 (1 lsl 24) in
+  let* flavor = oneofl [ Finfet.Library.Lvt; Finfet.Library.Hvt ] in
+  let* method_ = oneofl [ Opt.Space.M1; Opt.Space.M2 ] in
+  let* objective =
+    oneofl
+      [ Opt.Objective.Energy_delay_product;
+        Opt.Objective.Energy_delay_squared; Opt.Objective.Energy_only;
+        Opt.Objective.Delay_only ]
+  in
+  let* accounting =
+    oneofl [ Array_model.Array_eval.Paper_strict; Array_model.Array_eval.Physical ]
+  in
+  let* w = int_range 1 512 in
+  let* vssc = opt farr in
+  let* nr = opt (iarr 16 1024) in
+  let* n_pre = opt (iarr 1 64) in
+  let* n_wr = opt (iarr 1 64) in
+  return
+    { P.capacity_bits; flavor; method_; objective; accounting; w;
+      space = { P.vssc; nr; n_pre; n_wr } }
+
+let request_gen =
+  let open QCheck.Gen in
+  let* id = int_range 0 max_int in
+  let* deadline_ms = oneof [ return None; map Option.some (float_range 0.0 1e6) ] in
+  let* endpoint =
+    oneof
+      [ return P.Ping; return P.Stats; return P.Shutdown;
+        map (fun q -> P.Optimize q) query_gen ]
+  in
+  return { P.id; deadline_ms; endpoint }
+
+let response_gen =
+  let open QCheck.Gen in
+  let* rid = int_range 0 max_int in
+  let* body =
+    oneof
+      [ map (fun s -> Ok (J.String s)) (string_size ~gen:printable (int_bound 16));
+        map (fun f -> Ok (J.Obj [ ("x", J.Float f) ])) (float_range (-1e12) 1e12);
+        (let* code =
+           oneofl
+             [ P.Bad_request; P.Busy; P.Deadline; P.Shutting_down; P.Internal ]
+         in
+         let* msg = string_size ~gen:printable (int_bound 24) in
+         return (Error (code, msg)))
+      ]
+  in
+  return { P.rid; body }
+
+(* Structural equality through the JSON tree, floats compared by bits. *)
+let rec json_eq a b =
+  match (a, b) with
+  | J.Null, J.Null -> true
+  | J.Bool x, J.Bool y -> x = y
+  | J.Int x, J.Int y -> x = y
+  | J.Float x, J.Float y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | J.String x, J.String y -> String.equal x y
+  | J.List x, J.List y ->
+    List.length x = List.length y && List.for_all2 json_eq x y
+  | J.Obj x, J.Obj y ->
+    List.length x = List.length y
+    && List.for_all2
+         (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_eq v1 v2)
+         x y
+  | _ -> false
+
+let protocol_tests =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"requests round-trip bit-exactly" ~count:300
+         (QCheck.make request_gen)
+         (fun r ->
+           match P.request_of_json (P.request_to_json r) with
+           | Ok r' -> json_eq (P.request_to_json r') (P.request_to_json r)
+           | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"responses round-trip bit-exactly" ~count:300
+         (QCheck.make response_gen)
+         (fun r ->
+           match P.response_of_json (P.response_to_json r) with
+           | Ok r' -> json_eq (P.response_to_json r') (P.response_to_json r)
+           | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e));
+    case "garbage JSON is a decode error, not an exception" (fun () ->
+        List.iter
+          (fun s ->
+            match J.of_string s with
+            | Error _ -> ()
+            | Ok j -> (
+              match P.request_of_json j with
+              | Error _ -> ()
+              | Ok _ -> Alcotest.failf "accepted %s" s))
+          [ "[]"; "{}"; "{\"id\":\"x\"}"; "{\"id\":1}";
+            "{\"id\":1,\"endpoint\":\"warp\"}";
+            "{\"id\":1,\"endpoint\":\"optimize\"}";
+            "{\"id\":1,\"endpoint\":\"optimize\",\"query\":{\"w\":0}}"; "7" ]);
+    case "space_of_override replaces only the named axes" (fun () ->
+        let s = P.space_of_override { P.no_override with P.nr = Some [| 64 |] } in
+        Alcotest.(check (array int)) "nr" [| 64 |] s.Opt.Space.nr_values;
+        Alcotest.(check int) "vssc untouched"
+          (Array.length Opt.Space.default.Opt.Space.vssc_values)
+          (Array.length s.Opt.Space.vssc_values))
+  ]
+
+(* ----- end-to-end, against a forked server ----- *)
+
+let with_server f =
+  Runtime.Pool.set_default_jobs 1;
+  let path = fresh_sock () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    Runtime.Memo.reset_all ();
+    let cfg =
+      { Serve.Server.default_config with
+        Serve.Server.socket_path = Some path;
+        install_signals = false }
+    in
+    (try ignore (Serve.Server.run cfg) with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Fun.protect
+      ~finally:(fun () ->
+        (* Belt and braces: ask nicely, then reap; kill if the ask
+           cannot be delivered. *)
+        (match Serve.Client.connect ~socket_path:path () with
+        | Ok c ->
+          ignore (Serve.Client.shutdown c);
+          Serve.Client.close c
+        | Error _ -> (
+          try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()));
+        ignore (Unix.waitpid [] pid))
+      (fun () ->
+        match Serve.Client.wait_ready ~socket_path:path () with
+        | Error e -> Alcotest.failf "server did not come up: %s" e
+        | Ok c -> Fun.protect ~finally:(fun () -> Serve.Client.close c)
+                    (fun () -> f path c))
+
+let reduced_query =
+  { P.default_query with
+    P.capacity_bits = 1024 * 8;
+    space = P.reduced_override }
+
+let get = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let server_tests =
+  [ case "warm repeat answers bit-identically to the one-shot path"
+      (fun () ->
+        with_server (fun _path c ->
+            let a = get (Serve.Client.optimize c reduced_query) in
+            let b = get (Serve.Client.optimize c reduced_query) in
+            Alcotest.(check string) "warm = cold checksum"
+              a.Serve.Client.checksum b.Serve.Client.checksum;
+            let local =
+              Sram_edp.Framework.optimize ~space:Opt.Space.reduced
+                ~capacity_bits:(1024 * 8)
+                ~config:
+                  { Sram_edp.Framework.flavor = Finfet.Library.Hvt;
+                    method_ = Opt.Space.M2 }
+                ()
+            in
+            Alcotest.(check string) "server = in-process checksum"
+              (Opt.Exhaustive.checksum [ local.Sram_edp.Framework.result ])
+              a.Serve.Client.checksum;
+            Alcotest.(check string) "decoded winner re-derives checksum"
+              a.Serve.Client.checksum
+              (Opt.Exhaustive.checksum [ a.Serve.Client.result ])));
+    case "a corrupt frame gets an answer and the server keeps serving"
+      (fun () ->
+        with_server (fun path c ->
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX path);
+            (* Valid header, wrong CRC: the server must answer (or
+               close) this connection without dying. *)
+            let payload = "{\"id\":9,\"endpoint\":\"ping\"}" in
+            let b = Bytes.create 8 in
+            Bytes.set_int32_le b 0 (Int32.of_int (String.length payload));
+            Bytes.set_int32_le b 4 0xBAD0BADl;
+            ignore (Unix.write fd b 0 8);
+            ignore
+              (Unix.write_substring fd payload 0 (String.length payload));
+            (match F.read fd with
+            | Ok _ | Error _ -> ());
+            Unix.close fd;
+            (* The healthy connection still works. *)
+            ignore (get (Serve.Client.ping c))));
+    case "unparseable request JSON answers bad_request, keeps connection"
+      (fun () ->
+        with_server (fun path c ->
+            ignore c;
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX path);
+            F.write fd "{\"not\":\"a request\"}";
+            (match F.read fd with
+            | Ok s -> (
+              match Result.bind (J.of_string s) P.response_of_json with
+              | Ok { P.body = Error (P.Bad_request, _); _ } -> ()
+              | Ok _ -> Alcotest.fail "expected bad_request"
+              | Error e -> Alcotest.failf "undecodable response: %s" e)
+            | Error e ->
+              Alcotest.failf "expected a response frame, got %s"
+                (F.error_to_string e));
+            (* Same connection still usable after the rejection. *)
+            F.write fd
+              (J.to_string
+                 (P.request_to_json
+                    { P.id = 2; deadline_ms = None; endpoint = P.Ping }));
+            (match F.read fd with
+            | Ok _ -> ()
+            | Error e ->
+              Alcotest.failf "ping after bad request: %s"
+                (F.error_to_string e));
+            Unix.close fd));
+    case "client killed mid-request does not take the server down"
+      (fun () ->
+        with_server (fun path c ->
+            flush stdout;
+            flush stderr;
+            (match Unix.fork () with
+            | 0 ->
+              (* Send a full optimize request, then vanish without
+                 reading the response. *)
+              let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+              (try
+                 Unix.connect fd (Unix.ADDR_UNIX path);
+                 F.write fd
+                   (J.to_string
+                      (P.request_to_json
+                         { P.id = 1; deadline_ms = None;
+                           endpoint = P.Optimize reduced_query }))
+               with _ -> ());
+              Unix._exit 0
+            | pid -> ignore (Unix.waitpid [] pid));
+            (* And one that dies mid-frame: header only, then gone. *)
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX path);
+            let b = Bytes.create 8 in
+            Bytes.set_int32_le b 0 64l;
+            Bytes.set_int32_le b 4 0l;
+            ignore (Unix.write fd b 0 8);
+            Unix.close fd;
+            ignore (get (Serve.Client.ping c));
+            ignore (get (Serve.Client.optimize c reduced_query))));
+    case "an impossible deadline is a clean Deadline error" (fun () ->
+        with_server (fun _path c ->
+            (* Full default space at 16KB takes far longer than 1ms
+               cold; the search must be cancelled, answered, and the
+               server left healthy. *)
+            let big = { P.default_query with P.capacity_bits = 16 * 1024 * 8 } in
+            (match Serve.Client.optimize ~deadline_ms:1.0 c big with
+            | Ok _ -> Alcotest.fail "expected a deadline error"
+            | Error e ->
+              Alcotest.(check bool)
+                (Printf.sprintf "mentions deadline: %s" e)
+                true
+                (String.length e >= 8
+                && (let lower = String.lowercase_ascii e in
+                    let rec find i =
+                      i + 8 <= String.length lower
+                      && (String.sub lower i 8 = "deadline" || find (i + 1))
+                    in
+                    find 0)));
+            (* Aborted search cached nothing and broke nothing. *)
+            ignore (get (Serve.Client.optimize c reduced_query))));
+    case "stats endpoint reports the served traffic" (fun () ->
+        with_server (fun _path c ->
+            ignore (get (Serve.Client.optimize c reduced_query));
+            ignore (get (Serve.Client.optimize c reduced_query));
+            let stats = get (Serve.Client.stats c) in
+            let server =
+              match J.member "server" stats with
+              | Some s -> s
+              | None -> Alcotest.fail "no server section in stats"
+            in
+            (match J.int_field server "req.optimize" with
+            | Some n -> Alcotest.(check bool) "optimize counted" true (n >= 2)
+            | None -> Alcotest.fail "no req.optimize counter");
+            match J.member "memos" stats with
+            | Some (J.List _) -> ()
+            | _ -> Alcotest.fail "no memos section"));
+    case "shutdown endpoint drains and the process exits" (fun () ->
+        Runtime.Pool.set_default_jobs 1;
+        let path = fresh_sock () in
+        flush stdout;
+        flush stderr;
+        match Unix.fork () with
+        | 0 ->
+          Runtime.Memo.reset_all ();
+          let cfg =
+            { Serve.Server.default_config with
+              Serve.Server.socket_path = Some path;
+              install_signals = false }
+          in
+          (try ignore (Serve.Server.run cfg) with _ -> ());
+          Unix._exit 0
+        | pid ->
+          let c = get (Serve.Client.wait_ready ~socket_path:path ()) in
+          get (Serve.Client.shutdown c);
+          Serve.Client.close c;
+          (match Unix.waitpid [] pid with
+          | _, Unix.WEXITED 0 -> ()
+          | _ -> Alcotest.fail "server exited abnormally");
+          Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path))
+  ]
+
+let () =
+  Alcotest.run "serve"
+    [ ("frame", frame_tests);
+      ("protocol", protocol_tests);
+      ("server", server_tests)
+    ]
