@@ -3,14 +3,17 @@
 #   make check-tests   every test/test_*.ml must be wired into test/dune
 #   make bench         runtime scaling benchmark (writes BENCH_runtime.json)
 #   make bench-kernel  staged-kernel benchmark (writes BENCH_kernel.json)
+#   make bench-kernel-opt  same bench under the release profile (-O3 -unsafe);
+#                      never rewrites the baseline, gates winner checksums
+#                      against the committed BENCH_kernel.json via --smoke
 #   make bench-smoke   staged-kernel benchmark, reduced space, no JSON
 #   make bench-obs     observability overhead benchmark (writes BENCH_obs.json)
 #   make bench-persist checkpoint/resume bit-identity benchmark (BENCH_persist.json)
 #   make bench-serve   daemon load-generator benchmark (writes BENCH_serve.json)
 #   make regen-golden  deliberately rewrite test/golden/* (review the diff!)
 
-.PHONY: all check check-tests test bench bench-kernel bench-smoke bench-obs \
-        bench-persist bench-serve regen-golden clean
+.PHONY: all check check-tests test bench bench-kernel bench-kernel-opt \
+        bench-smoke bench-obs bench-persist bench-serve regen-golden clean
 
 all:
 	dune build
@@ -43,6 +46,15 @@ bench:
 
 bench-kernel:
 	dune exec bench/main.exe -- kernel
+
+# Release-profile kernel run.  The --smoke gate checks the optimized
+# binary still picks bit-identical winners (checksum vs the committed
+# baseline) before the full sweep runs; --no-json keeps the dev-profile
+# baseline authoritative.
+bench-kernel-opt:
+	dune build --profile release bench/main.exe
+	dune exec --profile release bench/main.exe -- kernel --smoke
+	dune exec --profile release bench/main.exe -- kernel --no-json
 
 bench-smoke:
 	dune exec bench/main.exe -- kernel --smoke

@@ -16,6 +16,19 @@ let section title =
    seconds-long end-to-end liveness check for `make check`. *)
 let smoke = ref false
 
+(* --no-json runs the full benchmarks without refreshing the committed
+   BENCH_*.json baselines — for one-off runs under a non-default build
+   profile (e.g. `make bench-kernel-opt`'s release build). *)
+let no_json = ref false
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
 (* ----- ablations (DESIGN.md section 5) ----- *)
 
 let ablation_accounting () =
@@ -817,12 +830,40 @@ let runtime_bench () =
    on what "identical" means. *)
 let checksum_designs = Opt.Exhaustive.checksum
 
+(* One measured sweep: both wall clock and the caller domain's Gc word
+   counters.  At jobs = 1 every evaluation runs on the caller domain, so
+   the word deltas are the whole sweep's allocation; at jobs > 1 the
+   caller is worker 0 and the deltas are that domain's share. *)
+type kernel_run = {
+  kr_jobs : int;
+  kr_ref_wall : float;
+  kr_stg_wall : float;
+  kr_ref_evals : int;
+  kr_stg_evals : int;
+  kr_pruned : int;
+  kr_skipped : int;   (* points abandoned mid-scan by suffix bounds *)
+  kr_covered : int;   (* reference evals - staged evals (prune + skip) *)
+  kr_considered : int;  (* full geometry x vssc product (deterministic) *)
+  kr_stg_minor_w : float;
+  kr_stg_major_w : float;
+  kr_ref_sum : string;
+  kr_stg_sum : string;
+}
+
 (* The Table 4 sweep through both evaluation kernels at 1/2/4 jobs:
    staged-vs-reference wall clock, evaluations skipped by the admissible
-   bound, and a bit-identity checksum of the chosen designs.  Bypasses
-   the framework memo on purpose — every run prices the full search. *)
+   bound, Gc allocation per evaluation, and a bit-identity checksum of
+   the chosen designs.  Bypasses the framework memo on purpose — every
+   run prices the full search (staging contexts are also reset, so each
+   run stages cold).
+
+   Exit status is a gate: a checksum divergence across kernels or job
+   counts fails the run.  Under --smoke the committed BENCH_kernel.json
+   baseline is enforced too (checksum equality and an evals/sec floor),
+   which is the CI regression gate and the release-profile equality gate
+   behind `make bench-kernel-opt`. *)
 let kernel_bench () =
-  section "Kernel: staged evaluation + bound pruning vs reference path";
+  section "Kernel: batched scan + bound pruning vs reference path";
   Obs.Control.set_enabled true;
   let space = if !smoke then Opt.Space.reduced else Opt.Space.default in
   let capacities =
@@ -855,52 +896,105 @@ let kernel_bench () =
   in
   let run jobs kernel =
     Runtime.Memo.reset_all ();
+    Array_model.Array_eval.reset_staging ();
     let pool = Runtime.Pool.create ~jobs () in
+    let gc0 = Gc.quick_stat () in
     let t0 = Runtime.Telemetry.now () in
     let results = sweep ~pool ~kernel in
     let wall = Runtime.Telemetry.now () -. t0 in
+    let gc1 = Gc.quick_stat () in
     Runtime.Pool.shutdown pool;
-    (results, wall)
+    ( results, wall,
+      gc1.Gc.minor_words -. gc0.Gc.minor_words,
+      gc1.Gc.major_words -. gc0.Gc.major_words )
   in
   let sum f l = List.fold_left (fun acc r -> acc + f r) 0 l in
-  let rows =
-    List.map
-      (fun jobs ->
-        let ref_res, ref_wall = run jobs `Reference in
-        let stg_res, stg_wall = run jobs `Staged in
-        let ref_evals = sum (fun r -> r.Opt.Exhaustive.evaluated) ref_res in
-        let stg_evals = sum (fun r -> r.Opt.Exhaustive.evaluated) stg_res in
-        let pruned = sum (fun r -> r.Opt.Exhaustive.pruned) stg_res in
-        let skipped = ref_evals - stg_evals in
-        let ref_sum = checksum_designs ref_res in
-        let stg_sum = checksum_designs stg_res in
-        (jobs, ref_wall, stg_wall, ref_evals, stg_evals, pruned, skipped,
-         ref_sum, stg_sum))
-      [ 1; 2; 4 ]
+  let measure jobs =
+    let ref_res, ref_wall, _, _ = run jobs `Reference in
+    let stg_res, stg_wall, stg_minor, stg_major = run jobs `Staged in
+    let ref_evals = sum (fun r -> r.Opt.Exhaustive.evaluated) ref_res in
+    let stg_evals = sum (fun r -> r.Opt.Exhaustive.evaluated) stg_res in
+    { kr_jobs = jobs;
+      kr_ref_wall = ref_wall;
+      kr_stg_wall = stg_wall;
+      kr_ref_evals = ref_evals;
+      kr_stg_evals = stg_evals;
+      kr_pruned = sum (fun r -> r.Opt.Exhaustive.pruned) stg_res;
+      kr_skipped = sum (fun r -> r.Opt.Exhaustive.skipped) stg_res;
+      kr_covered = ref_evals - stg_evals;
+      kr_considered = sum (fun r -> r.Opt.Exhaustive.considered) stg_res;
+      kr_stg_minor_w = stg_minor;
+      kr_stg_major_w = stg_major;
+      kr_ref_sum = checksum_designs ref_res;
+      kr_stg_sum = checksum_designs stg_res }
   in
+  (* Reduced-space throughput probe shared by the --smoke gate and the
+     full-run baseline recorder, so both numbers are produced by the
+     same code under the same conditions.  One cold jobs-1 staged sweep
+     of the reduced space lasts ~5 ms — short enough that scheduler and
+     timer noise dominate a single sample — so the probe times several
+     cold repetitions in one region and reports aggregate throughput. *)
+  let smoke_probe () =
+    let probe_space = Opt.Space.reduced in
+    let probe_caps = [ 1024 * 8 ] in
+    let reps = 10 in
+    let pool = Runtime.Pool.create ~jobs:1 () in
+    let decided = ref 0 in
+    let sum_designs = ref "" in
+    let t0 = Runtime.Telemetry.now () in
+    for _ = 1 to reps do
+      Runtime.Memo.reset_all ();
+      Array_model.Array_eval.reset_staging ();
+      let results =
+        List.concat_map
+          (fun capacity_bits ->
+            List.map
+              (fun (c : Sram_edp.Framework.config) ->
+                Opt.Exhaustive.search ~space:probe_space ~kernel:`Staged ~pool
+                  ~levels:(levels_of c.Sram_edp.Framework.flavor)
+                  ~env:(env_of c.Sram_edp.Framework.flavor) ~capacity_bits
+                  ~method_:c.Sram_edp.Framework.method_ ())
+              configs)
+          probe_caps
+      in
+      decided := !decided + sum (fun r -> r.Opt.Exhaustive.considered) results;
+      sum_designs := checksum_designs results
+    done;
+    let wall = Runtime.Telemetry.now () -. t0 in
+    Runtime.Pool.shutdown pool;
+    (!sum_designs, float_of_int !decided /. wall)
+  in
+  let rows = List.map measure [ 1; 2; 4 ] in
+  let evals_per_sec r = float_of_int r.kr_stg_evals /. r.kr_stg_wall in
+  (* Decided points per second: the search settles every point of the
+     geometry x vssc product — by evaluating it or covering it with an
+     admissible bound — and the product is the same for both kernels,
+     so this is the throughput figure that stays comparable when a
+     better kernel *evaluates less* (raw evals/s punishes pruning). *)
+  let decided_per_sec r = float_of_int r.kr_considered /. r.kr_stg_wall in
+  let words_per_eval r = r.kr_stg_minor_w /. float_of_int r.kr_stg_evals in
   let table =
     Sram_edp.Report.create
       ~columns:
-        [ "jobs"; "reference"; "staged"; "speedup"; "evals"; "skipped";
-          "prune rate"; "bit-identical" ]
+        [ "jobs"; "reference"; "staged"; "speedup"; "decided/s"; "evals/s";
+          "prune rate"; "minor w/eval"; "bit-identical" ]
   in
   List.iter
-    (fun (jobs, ref_wall, stg_wall, ref_evals, stg_evals, _, skipped, rs, ss) ->
+    (fun r ->
       Sram_edp.Report.add_row table
-        [ string_of_int jobs;
-          Printf.sprintf "%.2f s" ref_wall;
-          Printf.sprintf "%.2f s" stg_wall;
-          Printf.sprintf "%.2fx" (ref_wall /. stg_wall);
-          string_of_int stg_evals;
-          string_of_int skipped;
+        [ string_of_int r.kr_jobs;
+          Printf.sprintf "%.2f s" r.kr_ref_wall;
+          Printf.sprintf "%.2f s" r.kr_stg_wall;
+          Printf.sprintf "%.2fx" (r.kr_ref_wall /. r.kr_stg_wall);
+          Printf.sprintf "%.1fM" (decided_per_sec r /. 1e6);
+          Printf.sprintf "%.2fM" (evals_per_sec r /. 1e6);
           Sram_edp.Units.percent
-            (float_of_int skipped /. float_of_int ref_evals);
-          (if rs = ss then "yes" else "NO") ])
+            (float_of_int r.kr_covered /. float_of_int r.kr_ref_evals);
+          Printf.sprintf "%.1f" (words_per_eval r);
+          (if r.kr_ref_sum = r.kr_stg_sum then "yes" else "NO") ])
     rows;
   Sram_edp.Report.print table;
-  let checksums =
-    List.concat_map (fun (_, _, _, _, _, _, _, rs, ss) -> [ rs; ss ]) rows
-  in
+  let checksums = List.concat_map (fun r -> [ r.kr_ref_sum; r.kr_stg_sum ]) rows in
   let all_identical =
     match checksums with
     | [] -> true
@@ -908,7 +1002,66 @@ let kernel_bench () =
   in
   Printf.printf "chosen designs identical across kernels and job counts: %s\n"
     (if all_identical then "yes" else "NO");
-  if not !smoke then begin
+  let failures = ref [] in
+  if not all_identical then
+    failures := "kernel/job-count checksum divergence" :: !failures;
+  if !smoke then begin
+    (* Regression gate against the committed full-run baseline.  The
+       baseline's [smoke_baseline] section was measured on this same
+       reduced space, so the checksum must match bit-for-bit on any
+       machine; throughput is machine-dependent, so the floor is 80% of
+       baseline on the best of three trials (the row above plus two
+       more), which damps scheduler noise without hiding a real
+       regression. *)
+    match read_file "BENCH_kernel.json" with
+    | None ->
+      print_endline
+        "no committed BENCH_kernel.json — baseline gate skipped \
+         (run the full kernel bench to create it)"
+    | Some text -> (
+      match Persist.Json.of_string text with
+      | Error e ->
+        failures := Printf.sprintf "BENCH_kernel.json unreadable: %s" e :: !failures
+      | Ok json -> (
+        match Persist.Json.member "smoke_baseline" json with
+        | None ->
+          print_endline
+            "BENCH_kernel.json has no smoke_baseline — gate skipped \
+             (re-run the full kernel bench to record one)"
+        | Some base ->
+          let expect_sum = Persist.Json.string_field base "checksum" in
+          let expect_eps = Persist.Json.float_field base "decided_points_per_sec" in
+          let probe_sum, eps0 = smoke_probe () in
+          (match expect_sum with
+           | Some s when s <> probe_sum ->
+             failures :=
+               Printf.sprintf
+                 "checksum mismatch vs baseline: got %s, baseline %s"
+                 probe_sum s
+               :: !failures
+           | _ -> ());
+          (match expect_eps with
+           | Some baseline_eps ->
+             let best = Float.max eps0 (snd (smoke_probe ())) in
+             Printf.printf
+               "smoke throughput: %.2fM decided points/s (baseline %.2fM, \
+                floor 80%%)\n"
+               (best /. 1e6) (baseline_eps /. 1e6);
+             if best < 0.8 *. baseline_eps then
+               failures :=
+                 Printf.sprintf
+                   "decided points/sec regression: %.3g < 80%% of baseline %.3g"
+                   best baseline_eps
+                 :: !failures
+           | None -> ())))
+  end
+  else begin
+    (* Full run: measure the reduced-space jobs-1 throughput and
+       checksum that --smoke gates against — through the same probe the
+       gate uses — then (unless --no-json, the release-profile runs)
+       refresh BENCH_kernel.json. *)
+    let smoke_sum, eps0 = smoke_probe () in
+    let smoke_eps = Float.max eps0 (snd (smoke_probe ())) in
     let json =
       Sram_edp.Json_out.Obj
         [ ("benchmark", Sram_edp.Json_out.String "staged-kernel");
@@ -920,35 +1073,71 @@ let kernel_bench () =
              (List.map (fun c -> Sram_edp.Json_out.Int c) capacities));
           ("bit_identical", Sram_edp.Json_out.Bool all_identical);
           ("histograms", Sram_edp.Json_out.histograms_json ());
+          ("smoke_baseline",
+           Sram_edp.Json_out.Obj
+             [ ("space", Sram_edp.Json_out.String "reduced");
+               ("capacities_bits",
+                Sram_edp.Json_out.List [ Sram_edp.Json_out.Int (1024 * 8) ]);
+               ("jobs", Sram_edp.Json_out.Int 1);
+               ("checksum", Sram_edp.Json_out.String smoke_sum);
+               ("decided_points_per_sec", Sram_edp.Json_out.Float smoke_eps) ]);
           ("runs",
            Sram_edp.Json_out.List
              (List.map
-                (fun (jobs, ref_wall, stg_wall, ref_evals, stg_evals, pruned,
-                      skipped, rs, ss) ->
+                (fun r ->
                   Sram_edp.Json_out.Obj
-                    [ ("jobs", Sram_edp.Json_out.Int jobs);
-                      ("reference_wall_s", Sram_edp.Json_out.Float ref_wall);
-                      ("staged_wall_s", Sram_edp.Json_out.Float stg_wall);
+                    [ ("jobs", Sram_edp.Json_out.Int r.kr_jobs);
+                      ("reference_wall_s",
+                       Sram_edp.Json_out.Float r.kr_ref_wall);
+                      ("staged_wall_s", Sram_edp.Json_out.Float r.kr_stg_wall);
                       ("speedup",
-                       Sram_edp.Json_out.Float (ref_wall /. stg_wall));
+                       Sram_edp.Json_out.Float
+                         (r.kr_ref_wall /. r.kr_stg_wall));
+                      ("evals_per_sec",
+                       Sram_edp.Json_out.Float (evals_per_sec r));
+                      ("decided_points_per_sec",
+                       Sram_edp.Json_out.Float (decided_per_sec r));
+                      ("considered_points",
+                       Sram_edp.Json_out.Int r.kr_considered);
                       ("reference_evaluations",
-                       Sram_edp.Json_out.Int ref_evals);
-                      ("staged_evaluations", Sram_edp.Json_out.Int stg_evals);
-                      ("pruned_scans", Sram_edp.Json_out.Int pruned);
-                      ("evals_skipped", Sram_edp.Json_out.Int skipped);
+                       Sram_edp.Json_out.Int r.kr_ref_evals);
+                      ("staged_evaluations",
+                       Sram_edp.Json_out.Int r.kr_stg_evals);
+                      ("pruned_scans", Sram_edp.Json_out.Int r.kr_pruned);
+                      ("evals_skipped_midscan",
+                       Sram_edp.Json_out.Int r.kr_skipped);
+                      ("evals_skipped", Sram_edp.Json_out.Int r.kr_covered);
                       ("prune_rate",
                        Sram_edp.Json_out.Float
-                         (float_of_int skipped /. float_of_int ref_evals));
-                      ("checksum_reference", Sram_edp.Json_out.String rs);
-                      ("checksum_staged", Sram_edp.Json_out.String ss) ])
+                         (float_of_int r.kr_covered
+                          /. float_of_int r.kr_ref_evals));
+                      ("staged_minor_words",
+                       Sram_edp.Json_out.Float r.kr_stg_minor_w);
+                      ("staged_major_words",
+                       Sram_edp.Json_out.Float r.kr_stg_major_w);
+                      ("staged_minor_words_per_eval",
+                       Sram_edp.Json_out.Float (words_per_eval r));
+                      ("checksum_reference",
+                       Sram_edp.Json_out.String r.kr_ref_sum);
+                      ("checksum_staged",
+                       Sram_edp.Json_out.String r.kr_stg_sum) ])
                 rows)) ]
     in
-    let oc = open_out "BENCH_kernel.json" in
-    output_string oc (Sram_edp.Json_out.to_string_pretty json);
-    output_char oc '\n';
-    close_out oc;
-    print_endline "wrote BENCH_kernel.json"
-  end
+    if !no_json then
+      print_endline "--no-json: BENCH_kernel.json left untouched"
+    else begin
+      let oc = open_out "BENCH_kernel.json" in
+      output_string oc (Sram_edp.Json_out.to_string_pretty json);
+      output_char oc '\n';
+      close_out oc;
+      print_endline "wrote BENCH_kernel.json"
+    end
+  end;
+  match !failures with
+  | [] -> ()
+  | fs ->
+    List.iter (Printf.eprintf "kernel bench GATE FAILED: %s\n") (List.rev fs);
+    exit 1
 
 (* ----- observability overhead benchmark ----- *)
 
@@ -1672,8 +1861,9 @@ let () =
   List.iter
     (function
       | "--smoke" -> smoke := true
+      | "--no-json" -> no_json := true
       | other ->
-        Printf.eprintf "unknown flag %S (try --smoke)\n" other;
+        Printf.eprintf "unknown flag %S (try --smoke, --no-json)\n" other;
         exit 1)
     flags;
   match experiments with

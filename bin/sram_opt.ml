@@ -100,9 +100,12 @@ let print_optimized (o : Sram_edp.Framework.optimized) =
     (Units.fj m.Array_model.Array_eval.e_switching)
     (Units.fj m.Array_model.Array_eval.e_leakage);
   Printf.printf "  EDP          : %.4g Js\n" m.Array_model.Array_eval.edp;
-  Printf.printf "  search       : %d candidates evaluated, %d pruned by bound\n"
+  Printf.printf
+    "  search       : %d candidates evaluated, %d pruned by bound, %d \
+     skipped mid-scan\n"
     o.Framework.result.Opt.Exhaustive.evaluated
     o.Framework.result.Opt.Exhaustive.pruned
+    o.Framework.result.Opt.Exhaustive.skipped
 
 let json_flag =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")

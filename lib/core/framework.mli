@@ -51,6 +51,18 @@ val optimize :
 val paper_capacities : int list
 (** 128B, 256B, 1KB, 4KB, 16KB — in bits. *)
 
+val stage_ctx_for :
+  flavor:Finfet.Library.flavor ->
+  accounting:Array_model.Array_eval.accounting ->
+  Array_model.Array_eval.ctx
+(** The staging context shared by every search the framework runs for
+    this (flavor, accounting): environments are memoized per pair, so
+    the context's geometry-keyed staged cache is hit across capacities,
+    configs, sweeps and serve requests — the (n_r, n_c) grids overlap
+    heavily across the Table 4 capacities and are identical between the
+    M1/M2 configs of one flavor.  Exposed for benchmarks that drive
+    {!Opt.Exhaustive.search} directly with framework environments. *)
+
 val sweep_capacities :
   ?space:Opt.Space.t ->
   ?accounting:Array_model.Array_eval.accounting ->

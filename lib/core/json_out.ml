@@ -164,7 +164,8 @@ let of_histogram (s : Obs.Histogram.snapshot) =
       ("max_s", Float s.Obs.Histogram.max_s);
       ("p50_s", Float (Obs.Histogram.percentile s 0.50));
       ("p90_s", Float (Obs.Histogram.percentile s 0.90));
-      ("p99_s", Float (Obs.Histogram.percentile s 0.99)) ]
+      ("p99_s", Float (Obs.Histogram.percentile s 0.99));
+      ("gc_coincident", Int s.Obs.Histogram.gc_coincident) ]
 
 (* Empty histograms are dropped rather than emitted: their min/max are
    infinities, which have no JSON representation. *)

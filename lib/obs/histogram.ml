@@ -13,6 +13,7 @@ type t = {
   maxs : float array;
   totals : int array;
   countdown : int array;     (* per-slot sampling countdown *)
+  gc_hits : int array;       (* samples that straddled a major GC slice *)
 }
 
 let registry_lock = Mutex.create ()
@@ -29,7 +30,8 @@ let make ~sample ~lo ~buckets name =
     mins = Array.make slots infinity;
     maxs = Array.make slots neg_infinity;
     totals = Array.make slots 0;
-    countdown = Array.make slots 1 }
+    countdown = Array.make slots 1;
+    gc_hits = Array.make slots 0 }
 
 let create ?(sample = 1) ?(lo = default_lo) ?(buckets = default_buckets) name =
   Mutex.lock registry_lock;
@@ -62,6 +64,19 @@ let observe t v =
   t.sums.(s) <- t.sums.(s) +. v;
   if v < t.mins.(s) then t.mins.(s) <- v;
   if v > t.maxs.(s) then t.maxs.(s) <- v
+
+(* GC-coincidence accounting: the p99/max outliers of a nanosecond-scale
+   histogram are only diagnosable if we know whether the slow samples
+   ran concurrently with collector work.  Callers bracket the timed
+   region with {!major_collections} and report the delta here. *)
+let major_collections () = (Gc.quick_stat ()).Gc.major_collections
+
+let observe_gc t v gc_delta =
+  observe t v;
+  if gc_delta > 0 then begin
+    let s = Control.slot () in
+    t.gc_hits.(s) <- t.gc_hits.(s) + 1
+  end
 
 let tick t =
   Control.is_enabled ()
@@ -99,6 +114,7 @@ type snapshot = {
   sum : float;
   min_s : float;
   max_s : float;
+  gc_coincident : int;
   buckets : int array;
 }
 
@@ -108,6 +124,7 @@ let snapshot t =
   let sum = ref 0.0 in
   let min_s = ref infinity in
   let max_s = ref neg_infinity in
+  let gc_hits = ref 0 in
   for s = 0 to Control.max_slots - 1 do
     let row = t.counts.(s) in
     for b = 0 to t.n_buckets - 1 do
@@ -115,6 +132,7 @@ let snapshot t =
     done;
     count := !count + t.totals.(s);
     sum := !sum +. t.sums.(s);
+    gc_hits := !gc_hits + t.gc_hits.(s);
     if t.mins.(s) < !min_s then min_s := t.mins.(s);
     if t.maxs.(s) > !max_s then max_s := t.maxs.(s)
   done;
@@ -125,6 +143,7 @@ let snapshot t =
     sum = !sum;
     min_s = !min_s;
     max_s = !max_s;
+    gc_coincident = !gc_hits;
     buckets }
 
 let bucket_bounds (s : snapshot) i =
@@ -142,6 +161,7 @@ let merge (a : snapshot) (b : snapshot) =
     sum = a.sum +. b.sum;
     min_s = Float.min a.min_s b.min_s;
     max_s = Float.max a.max_s b.max_s;
+    gc_coincident = a.gc_coincident + b.gc_coincident;
     buckets = Array.mapi (fun i c -> c + b.buckets.(i)) a.buckets }
 
 let percentile (s : snapshot) p =
@@ -185,7 +205,8 @@ let reset t =
     t.mins.(s) <- infinity;
     t.maxs.(s) <- neg_infinity;
     t.totals.(s) <- 0;
-    t.countdown.(s) <- 1
+    t.countdown.(s) <- 1;
+    t.gc_hits.(s) <- 0
   done
 
 let reset_all () =
@@ -203,15 +224,15 @@ let pp_s v =
 let print_report ?(channel = stdout) () =
   let snaps = List.filter (fun s -> s.count > 0) (snapshots ()) in
   if snaps <> [] then begin
-    Printf.fprintf channel "%-28s %9s %10s %10s %10s %10s %10s\n" "histogram"
-      "samples" "p50" "p90" "p99" "max" "mean";
+    Printf.fprintf channel "%-28s %9s %10s %10s %10s %10s %10s %7s\n"
+      "histogram" "samples" "p50" "p90" "p99" "max" "mean" "gc-hit";
     List.iter
       (fun s ->
-        Printf.fprintf channel "%-28s %9d %10s %10s %10s %10s %10s\n" s.name
-          s.count
+        Printf.fprintf channel "%-28s %9d %10s %10s %10s %10s %10s %7d\n"
+          s.name s.count
           (pp_s (percentile s 0.50))
           (pp_s (percentile s 0.90))
           (pp_s (percentile s 0.99))
-          (pp_s s.max_s) (pp_s (mean s)))
+          (pp_s s.max_s) (pp_s (mean s)) s.gc_coincident)
       snaps
   end

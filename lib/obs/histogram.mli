@@ -34,6 +34,18 @@ val observe : t -> float -> unit
 (** Record one latency (seconds) into the calling domain's shard.
     Unconditional — callers gate on {!tick} or {!Control.is_enabled}. *)
 
+val major_collections : unit -> int
+(** Current [Gc] major-collection count; bracket a timed region with
+    two reads to learn whether a slow sample straddled a major slice
+    (allocates one [Gc.stat] record — only call on sampled paths). *)
+
+val observe_gc : t -> float -> int -> unit
+(** [observe_gc h dt gc_delta] is {!observe} plus GC-coincidence
+    accounting: when [gc_delta > 0] (the {!major_collections} delta
+    across the timed region) the sample is counted in the snapshot's
+    [gc_coincident] tally, so p99/max outliers can be attributed to —
+    or exonerated from — collector interference. *)
+
 val tick : t -> bool
 (** [false] when recording is disabled or this call is not a sampling
     point; [true] on every [sample]-th call per slot when enabled.  The
@@ -55,6 +67,9 @@ type snapshot = {
   sum : float;
   min_s : float;      (** +inf when empty *)
   max_s : float;      (** -inf when empty *)
+  gc_coincident : int;
+  (** samples whose timed region straddled >= 1 major GC slice
+      (recorded via {!observe_gc}; 0 for plain {!observe} sites) *)
   buckets : int array;
 }
 
@@ -82,4 +97,5 @@ val reset : t -> unit
 val reset_all : unit -> unit
 
 val print_report : ?channel:out_channel -> unit -> unit
-(** Table of non-empty histograms: samples, p50/p90/p99, max, mean. *)
+(** Table of non-empty histograms: samples, p50/p90/p99, max, mean,
+    and the GC-coincident sample count. *)

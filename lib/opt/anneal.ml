@@ -97,4 +97,6 @@ let search ?(space = Space.default) ?(objective = Objective.Energy_delay_product
     if cand.Exhaustive.score < !best.Exhaustive.score then best := cand;
     temperature := !temperature *. schedule.cooling
   done;
-  { Exhaustive.best = !best; evaluated = !evaluated; pruned = 0; levels; pins }
+  (* A heuristic search decides exactly the points it evaluates. *)
+  { Exhaustive.best = !best; evaluated = !evaluated; pruned = 0; skipped = 0;
+    considered = !evaluated; levels; pins }

@@ -9,6 +9,8 @@ type result = {
   best : candidate;
   evaluated : int;
   pruned : int;
+  skipped : int;
+  considered : int;
   levels : Yield.levels;
   pins : Space.pins;
 }
@@ -204,6 +206,8 @@ let result_to_json r =
       ("best", candidate_to_json r.best);
       ("evaluated", J.Int r.evaluated);
       ("pruned", J.Int r.pruned);
+      ("skipped", J.Int r.skipped);
+      ("considered", J.Int r.considered);
       ("levels", levels_to_json r.levels);
       ("pins", pins_to_json r.pins);
     ]
@@ -217,7 +221,15 @@ let result_of_json j =
       Option.bind (J.member "pins" j) pins_of_json )
   with
   | Some best, Some evaluated, Some pruned, Some levels, Some pins ->
-    Some { best; evaluated; pruned; levels; pins }
+    (* [skipped] and [considered] postdate the codec; payloads written
+       before them count no mid-scan abandonment (0 states that
+       exactly), and the best stand-in for an unrecorded product is the
+       work actually performed. *)
+    let skipped = Option.value (J.int_field j "skipped") ~default:0 in
+    let considered =
+      Option.value (J.int_field j "considered") ~default:evaluated
+    in
+    Some { best; evaluated; pruned; skipped; considered; levels; pins }
   | _ -> None
 
 (* ----- checkpoint task signature -----
@@ -264,9 +276,87 @@ let task_signature ~objective ~kernel ~(env : Array_model.Array_eval.env)
 
 exception Deadline_exceeded
 
+(* ----- batched-scan reduction helpers -----
+
+   Scores read straight from the scan buffer, matching [Objective.eval]'s
+   arithmetic bit-for-bit: EDP is the buffer's edp slot, ED^2
+   left-associates as (e *. d) *. d = edp *. d, and the single-field
+   objectives are their slots verbatim. *)
+
+let score_at objective buf i =
+  let open Array_model.Array_eval in
+  match objective with
+  | Objective.Energy_delay_product -> (scan_edp buf).(i)
+  | Objective.Energy_delay_squared -> (scan_edp buf).(i) *. (scan_d_array buf).(i)
+  | Objective.Energy_only -> (scan_e_total buf).(i)
+  | Objective.Delay_only -> (scan_d_array buf).(i)
+
+(* First-strictly-better winner fold over scanned slots [lo, hi) —
+   the sequential scan's earlier-index-wins tie break.  The objective
+   match sits outside the loop; the loop itself reads flat float arrays
+   and allocates only when the incumbent improves (boxed ref store). *)
+let fold_block objective buf ~lo ~hi best_i best_score =
+  let open Array_model.Array_eval in
+  match objective with
+  | Objective.Energy_delay_product ->
+    let a = scan_edp buf in
+    for i = lo to hi - 1 do
+      let s = Array.unsafe_get a i in
+      if s < !best_score then begin
+        best_i := i;
+        best_score := s
+      end
+    done
+  | Objective.Energy_delay_squared ->
+    let a = scan_edp buf and d = scan_d_array buf in
+    for i = lo to hi - 1 do
+      let s = Array.unsafe_get a i *. Array.unsafe_get d i in
+      if s < !best_score then begin
+        best_i := i;
+        best_score := s
+      end
+    done
+  | Objective.Energy_only ->
+    let a = scan_e_total buf in
+    for i = lo to hi - 1 do
+      let s = Array.unsafe_get a i in
+      if s < !best_score then begin
+        best_i := i;
+        best_score := s
+      end
+    done
+  | Objective.Delay_only ->
+    let a = scan_d_array buf in
+    for i = lo to hi - 1 do
+      let s = Array.unsafe_get a i in
+      if s < !best_score then begin
+        best_i := i;
+        best_score := s
+      end
+    done
+
+(* Per-domain scan buffers: one allocation per domain per process —
+   not per chunk, not per geometry — shared by every search this
+   process runs (the buffers grow to the largest scan seen and stay). *)
+let scan_buf = Runtime.Pool.local Array_model.Array_eval.scan_buffer
+let bound_buf = Runtime.Pool.local Array_model.Array_eval.scan_buffer
+
+(* Candidate grids keyed by (space, capacity, w) — all plain data, so
+   structural comparison is safe.  A Table 4 sweep re-enumerates the
+   same grid for all four (flavor, method) searches of a capacity. *)
+let geometry_memo :
+    (Space.t * int * int option, Array_model.Geometry.t array) Runtime.Memo.t =
+  Runtime.Memo.create ~name:"exhaustive.geometries" ~capacity:16 ()
+
+(* Suffix-envelope block size: bounds are evaluated once per block, so
+   the block trades bound overhead (one extra scan point per block)
+   against how promptly a scan abandons its tail once the incumbent
+   tightens below it. *)
+let scan_block = 8
+
 let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
-    ?levels ?pool ?w ?(kernel = `Staged) ?journal ?deadline ~env ~capacity_bits
-    ~method_ ~keep_all () =
+    ?levels ?pool ?w ?(kernel = `Staged) ?stage_ctx ?journal ?deadline ~env
+    ~capacity_bits ~method_ ~keep_all () =
   if not (Array_model.Geometry.is_power_of_two capacity_bits) then
     invalid_arg "Exhaustive.search: capacity must be a power of two";
   let pool = match pool with Some p -> p | None -> Runtime.Pool.default () in
@@ -281,8 +371,13 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
   let vssc_values =
     if pins.Space.vssc_allowed then space.Space.vssc_values else [| 0.0 |]
   in
+  (* The candidate grid depends only on (space, capacity, w) — a Table 4
+     sweep enumerates the same grid for every (flavor, method) pair, so
+     the array is shared through a memo.  Consumers only read it. *)
   let geometries =
-    Array.of_list (Space.candidate_geometries ?w space ~capacity_bits)
+    Runtime.Memo.find_or_compute geometry_memo (space, capacity_bits, w)
+      (fun () ->
+        Array.of_list (Space.candidate_geometries ?w space ~capacity_bits))
   in
   if Array.length geometries = 0 then
     invalid_arg "Exhaustive.search: empty geometry space";
@@ -295,6 +390,7 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
      this process's work — replayed chunks contribute nothing. *)
   let n_evaluated = Atomic.make 0 in
   let n_pruned = Atomic.make 0 in
+  let n_skipped = Atomic.make 0 in
   let count_evals n =
     ignore (Atomic.fetch_and_add n_evaluated n);
     Runtime.Telemetry.add evals n;
@@ -331,65 +427,122 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
     count_evals nv;
     (!best, List.rev !all)
   in
-  let eval_geometry =
+  let eval_line =
     match kernel with
-    | `Reference -> eval_geometry_reference
-    | `Staged ->
+    | `Reference -> fun i -> eval_geometry_reference geometries.(i)
+    | `Staged when keep_all ->
+      (* keep_all never prunes (the full candidate list is the
+         contract), so it stays on the record-materializing path. *)
       let prepared = Array.map (Array_model.Array_eval.prepare env) assists in
-      let envelope = Array_model.Array_eval.envelope prepared in
-      fun geometry ->
+      fun i ->
+        let geometry = geometries.(i) in
         let st = Array_model.Array_eval.stage env geometry in
-        let prune =
-          (not keep_all)
-          && Objective.eval objective
-               (Array_model.Array_eval.bound_metrics st envelope)
-             > Runtime.Shared_min.get incumbent
-        in
-        if prune then begin
+        let best = ref None in
+        let all = ref [] in
+        Array.iteri
+          (fun i assist ->
+            let metrics = Array_model.Array_eval.complete st prepared.(i) in
+            let score = Objective.eval objective metrics in
+            let candidate = { geometry; assist; metrics; score } in
+            all := candidate :: !all;
+            match !best with
+            | Some b when b.score <= score -> ()
+            | Some _ | None -> best := Some candidate)
+          assists;
+        count_evals nv;
+        (!best, List.rev !all)
+    | `Staged ->
+      (* Hot path: the whole vssc scan runs through the allocation-free
+         batched kernel; [metrics] is materialized once, for the line's
+         winner.  Staging goes through a context — hoisted env-constant
+         currents plus a geometry-keyed cache shared across the searches
+         of a sweep (the caller passes its sweep-wide [stage_ctx]). *)
+      let ctx =
+        match stage_ctx with
+        | Some c when Array_model.Array_eval.ctx_env c == env -> c
+        | Some _ | None -> Array_model.Array_eval.ctx_for env
+      in
+      (* The whole grid is staged up front (cached per domain by the
+         memoized grid's identity, so the sibling method's search gets
+         it back for free) and each line reads its staged record by
+         index — no per-line cache lookup on the scan path. *)
+      let staged_arr = Array_model.Array_eval.stage_array ctx geometries in
+      let prepared = Array.map (Array_model.Array_eval.prepare env) assists in
+      (* Suffix envelopes as scan points: element 0 bounds the whole
+         line (the per-geometry prune), element j > 0 bounds the points
+         block j onward — evaluated by the same batched scan as real
+         candidates, so pruning adds no record allocation either. *)
+      let bound_ps =
+        Array.map
+          (Array_model.Array_eval.bound_prepared env)
+          (Array_model.Array_eval.suffix_envelopes prepared ~block:scan_block)
+      in
+      let nb = Array.length bound_ps in
+      (* Shared result for pruned lines: ~98% of lines die on the
+         whole-line bound, so the constant saves a tuple per line. *)
+      let pruned_line = (None, []) in
+      fun i ->
+        let st = Array.unsafe_get staged_arr i in
+        let bbuf = Runtime.Pool.get_local bound_buf in
+        (* Bound slot 0 (the whole-line bound) decides the per-geometry
+           prune; most lines die on it, so the remaining suffix bounds
+           are scanned only for survivors — a pruned line costs exactly
+           one bound evaluation, as in the unbatched kernel. *)
+        Array_model.Array_eval.scan_slice st bound_ps bbuf ~lo:0 ~hi:1;
+        if score_at objective bbuf 0 > Runtime.Shared_min.get incumbent then begin
           ignore (Atomic.fetch_and_add n_pruned 1);
           Runtime.Telemetry.incr pruned_scans;
           Obs.Progress.add_pruned 1;
-          (None, [])
-        end
-        else if keep_all then begin
-          let best = ref None in
-          let all = ref [] in
-          Array.iteri
-            (fun i assist ->
-              let metrics = Array_model.Array_eval.complete st prepared.(i) in
-              let score = Objective.eval objective metrics in
-              let candidate = { geometry; assist; metrics; score } in
-              all := candidate :: !all;
-              match !best with
-              | Some b when b.score <= score -> ()
-              | Some _ | None -> best := Some candidate)
-            assists;
-          count_evals nv;
-          (!best, List.rev !all)
+          pruned_line
         end
         else begin
-          (* Hot path: no candidate record or list per evaluation — track
-             the winning index and build one candidate per geometry. *)
-          let m0 = Array_model.Array_eval.complete st prepared.(0) in
+          if nb > 1 then
+            Array_model.Array_eval.scan_slice st bound_ps bbuf ~lo:1 ~hi:nb;
+          let buf = Runtime.Pool.get_local scan_buf in
+          (* Block 0 seeds the incumbent from index 0 exactly as the
+             sequential scan does, then folds the rest of the block. *)
+          let h0 = min nv scan_block in
+          Array_model.Array_eval.scan_slice st prepared buf ~lo:0 ~hi:h0;
           let best_i = ref 0 in
-          let best_m = ref m0 in
-          let best_score = ref (Objective.eval objective m0) in
-          for i = 1 to nv - 1 do
-            let m = Array_model.Array_eval.complete st prepared.(i) in
-            let s = Objective.eval objective m in
-            if s < !best_score then begin
-              best_i := i;
-              best_m := m;
-              best_score := s
+          let best_score = ref (score_at objective buf 0) in
+          fold_block objective buf ~lo:1 ~hi:h0 best_i best_score;
+          let scanned = ref h0 in
+          let j = ref 1 in
+          let live = ref (!j < nb) in
+          while !live do
+            (* Incremental envelope check between blocks: every point
+               not yet scanned scores >= the suffix bound, so when that
+               bound strictly exceeds both this line's best-so-far and
+               the cross-line incumbent, the tail cannot contain the
+               winner (or a tie) and the scan abandons it.  The prune
+               stays exact as the incumbent tightens mid-scan. *)
+            let tail_bound = score_at objective bbuf !j in
+            let cutoff =
+              Float.min !best_score (Runtime.Shared_min.get incumbent)
+            in
+            if tail_bound > cutoff then live := false
+            else begin
+              let lo = !j * scan_block in
+              let hi = min nv (lo + scan_block) in
+              Array_model.Array_eval.scan_slice st prepared buf ~lo ~hi;
+              fold_block objective buf ~lo ~hi best_i best_score;
+              scanned := hi;
+              incr j;
+              if !j >= nb then live := false
             end
           done;
-          count_evals nv;
-          Runtime.Shared_min.publish incumbent !best_score;
+          count_evals !scanned;
+          if !scanned < nv then
+            ignore (Atomic.fetch_and_add n_skipped (nv - !scanned));
+          let bi = !best_i in
+          let metrics = Array_model.Array_eval.complete st prepared.(bi) in
+          let score = !best_score in
+          Runtime.Shared_min.publish incumbent score;
           ( Some
-              { geometry;
-                assist = assists.(!best_i);
-                metrics = !best_m;
-                score = !best_score },
+              { geometry = Array.unsafe_get geometries i;
+                assist = assists.(bi);
+                metrics;
+                score },
             [] )
         end
   in
@@ -397,7 +550,7 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
      Table 4 sweep scans ~10^4 geometries and per-geometry events would
      dominate the trace buffer, so coarse traces keep only the
      structural spans (sweep / search / pool chunks). *)
-  let eval_geometry g =
+  let eval_line i =
     (* Deadline check at geometry granularity: one geometry's vssc scan
        is microseconds, so an expired serving deadline stops the search
        almost immediately.  Under a pool the exception is re-raised in
@@ -409,8 +562,8 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
      | _ -> ());
     let r =
       if Obs.Trace.fine_active () then
-        Obs.Trace.with_span "exhaustive.eval" (fun () -> eval_geometry g)
-      else eval_geometry g
+        Obs.Trace.with_span "exhaustive.eval" (fun () -> eval_line i)
+      else eval_line i
     in
     Obs.Progress.add_done 1;
     r
@@ -467,7 +620,7 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
       | None ->
         let best = ref None in
         for i = lo to hi do
-          best := better !best (fst (eval_geometry geometries.(i)))
+          best := better !best (fst (eval_line i))
         done;
         let incumbent_json =
           let s = Runtime.Shared_min.get incumbent in
@@ -500,7 +653,8 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
     | _ ->
       let per_geometry =
         Runtime.Telemetry.time "exhaustive.search" (fun () ->
-            Runtime.Pool.parmap pool eval_geometry geometries)
+            Runtime.Pool.parmap pool eval_line
+              (Array.init (Array.length geometries) (fun i -> i)))
       in
       ( Array.fold_left (fun acc (b, _) -> better acc b) None per_geometry,
         if keep_all then List.concat_map snd (Array.to_list per_geometry)
@@ -512,15 +666,17 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
     ( { best;
         evaluated = Atomic.get n_evaluated;
         pruned = Atomic.get n_pruned;
+        skipped = Atomic.get n_skipped;
+        considered = Array.length geometries * nv;
         levels;
         pins },
       all )
 
-let search ?space ?objective ?levels ?pool ?w ?kernel ?journal ?deadline ~env
-    ~capacity_bits ~method_ () =
+let search ?space ?objective ?levels ?pool ?w ?kernel ?stage_ctx ?journal
+    ?deadline ~env ~capacity_bits ~method_ () =
   fst
-    (run ?space ?objective ?levels ?pool ?w ?kernel ?journal ?deadline ~env
-       ~capacity_bits ~method_ ~keep_all:false ())
+    (run ?space ?objective ?levels ?pool ?w ?kernel ?stage_ctx ?journal
+       ?deadline ~env ~capacity_bits ~method_ ~keep_all:false ())
 
 let search_all ?space ?objective ?levels ?pool ?w ?kernel ~env ~capacity_bits
     ~method_ () =

@@ -33,6 +33,17 @@ type result = {
   (** Whole vssc scans skipped by the admissible bound.  Timing-dependent
       under parallelism (a worker prunes against whatever has been
       published when it looks); the winner is not. *)
+  skipped : int;
+  (** Individual scan points abandoned mid-line when a suffix
+      envelope's bound exceeded the tightened incumbent.  Like
+      [pruned], timing-dependent; [evaluated + skipped + pruned x
+      scan-length] always accounts for the whole space. *)
+  considered : int;
+  (** The full [geometries x vssc_values] product: every point the
+      search decided, whether by evaluating it or by covering it with
+      an admissible bound.  Deterministic (unlike the three counters
+      above), so [considered / wall] is the throughput measure that
+      stays comparable across kernels with different pruning power. *)
   levels : Yield.levels;
   pins : Space.pins;
 }
@@ -52,6 +63,7 @@ val search :
   ?pool:Runtime.Pool.t ->
   ?w:int ->
   ?kernel:kernel ->
+  ?stage_ctx:Array_model.Array_eval.ctx ->
   ?journal:Persist.Checkpoint.t ->
   ?deadline:float ->
   env:Array_model.Array_eval.env ->
@@ -68,6 +80,13 @@ val search :
     winner, tie-breaking and all — bit-identical to the sequential scan
     for any job count.  [kernel] selects the evaluation path (default
     [`Staged]).
+
+    [stage_ctx] shares staged-geometry work across searches: a sweep
+    passes one {!Array_model.Array_eval.ctx} per environment so the
+    geometry grids the capacities and configs have in common stage only
+    once.  Ignored when its environment is not (physically) the
+    search's [env]; when absent the process-wide registered context for
+    [env] is used, so sharing happens by default.
 
     [journal] (default {!Persist.Checkpoint.default}, i.e. the CLI's
     [--checkpoint] file when set) switches the sweep to fixed chunks of

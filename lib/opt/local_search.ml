@@ -5,6 +5,11 @@ type state = {
   n_wr_i : int;
 }
 
+(* Per-domain scan buffer for the vssc line scans (one per domain per
+   process; local search itself is sequential but may run on any pool
+   worker). *)
+let scan_buf = Runtime.Pool.local Array_model.Array_eval.scan_buffer
+
 let search ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
     ?levels ?(restarts = 4) ?(w = 64) ?journal ~env ~capacity_bits ~method_ ()
     =
@@ -78,33 +83,74 @@ let search ?(space = Space.default) ?(objective = Objective.Energy_delay_product
       metrics;
       score = Objective.eval objective metrics }
   in
-  (* Line scan of one coordinate with the rest pinned. *)
-  let scan state coordinate =
-    let dim =
-      match coordinate with
-      | `Vssc -> Array.length vssc_values
-      | `Nr -> Array.length nr_values
-      | `Npre -> Array.length space.Space.n_pre_values
-      | `Nwr -> Array.length space.Space.n_wr_values
+  (* A vssc line keeps the geometry fixed, so the whole line runs
+     through the batched scan kernel: one [Array_eval.scan] into the
+     per-domain buffer, a flat winner fold, and a single [complete] for
+     the winner — no metrics record per point.  Scores read from the
+     buffer are bit-identical to [Objective.eval] of the corresponding
+     completed metrics (ED^2 left-associates as edp *. d), so every
+     accept/reject decision matches the record-per-point scan's. *)
+  let scan_vssc state =
+    let st, _ = staged_for state in
+    let buf = Runtime.Pool.get_local scan_buf in
+    Array_model.Array_eval.scan st prepared buf;
+    let dim = Array.length vssc_values in
+    let score_at i =
+      let open Array_model.Array_eval in
+      match objective with
+      | Objective.Energy_delay_product -> (scan_edp buf).(i)
+      | Objective.Energy_delay_squared ->
+        (scan_edp buf).(i) *. (scan_d_array buf).(i)
+      | Objective.Energy_only -> (scan_e_total buf).(i)
+      | Objective.Delay_only -> (scan_d_array buf).(i)
     in
-    let with_index i =
-      match coordinate with
-      | `Vssc -> { state with vssc_i = i }
-      | `Nr -> { state with nr_i = i }
-      | `Npre -> { state with n_pre_i = i }
-      | `Nwr -> { state with n_wr_i = i }
-    in
-    let best = ref (with_index 0) in
-    let best_cand = ref (eval !best) in
+    let best_i = ref 0 in
+    let best_s = ref (score_at 0) in
     for i = 1 to dim - 1 do
-      let s = with_index i in
-      let c = eval s in
-      if c.Exhaustive.score < !best_cand.Exhaustive.score then begin
-        best := s;
-        best_cand := c
+      let s = score_at i in
+      if s < !best_s then begin
+        best_i := i;
+        best_s := s
       end
     done;
-    (!best, !best_cand)
+    evaluated := !evaluated + dim;
+    Runtime.Telemetry.add evals_counter dim;
+    Obs.Progress.add_evals dim;
+    let metrics = Array_model.Array_eval.complete st prepared.(!best_i) in
+    ( { state with vssc_i = !best_i },
+      { Exhaustive.geometry = Array_model.Array_eval.staged_geometry st;
+        assist = assists.(!best_i);
+        metrics;
+        score = !best_s } )
+  in
+  (* Line scan of one coordinate with the rest pinned. *)
+  let scan state coordinate =
+    match coordinate with
+    | `Vssc -> scan_vssc state
+    | (`Nr | `Npre | `Nwr) as coordinate ->
+      let dim =
+        match coordinate with
+        | `Nr -> Array.length nr_values
+        | `Npre -> Array.length space.Space.n_pre_values
+        | `Nwr -> Array.length space.Space.n_wr_values
+      in
+      let with_index i =
+        match coordinate with
+        | `Nr -> { state with nr_i = i }
+        | `Npre -> { state with n_pre_i = i }
+        | `Nwr -> { state with n_wr_i = i }
+      in
+      let best = ref (with_index 0) in
+      let best_cand = ref (eval !best) in
+      for i = 1 to dim - 1 do
+        let s = with_index i in
+        let c = eval s in
+        if c.Exhaustive.score < !best_cand.Exhaustive.score then begin
+          best := s;
+          best_cand := c
+        end
+      done;
+      (!best, !best_cand)
   in
   let descend start =
     let rec cycle state candidate =
@@ -234,4 +280,6 @@ let search ?(space = Space.default) ?(objective = Objective.Energy_delay_product
   match !best with
   | None -> invalid_arg "Local_search.search: no candidates"
   | Some best ->
-    { Exhaustive.best; evaluated = !evaluated; pruned = !pruned; levels; pins }
+    (* A heuristic search decides exactly the points it evaluates. *)
+    { Exhaustive.best; evaluated = !evaluated; pruned = !pruned; skipped = 0;
+      considered = !evaluated; levels; pins }

@@ -163,3 +163,17 @@ let default_jobs () =
   let n = match !default_pool with Some p -> p.jobs | None -> !requested_jobs in
   Mutex.unlock default_lock;
   n
+
+(* ----- per-domain storage -----
+
+   A thin veneer over [Domain.DLS]: one value per domain, created
+   lazily the first time that domain asks.  Scan buffers and other
+   reusable scratch live here so a parallel sweep allocates one buffer
+   per domain for the process lifetime, not one per chunk — and jobs=1
+   runs always hit the same warm buffer. *)
+
+type 'a local = 'a Domain.DLS.key
+
+let local init = Domain.DLS.new_key init
+
+let get_local key = Domain.DLS.get key

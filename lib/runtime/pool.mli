@@ -62,3 +62,20 @@ val default : unit -> t
 
 val default_jobs : unit -> int
 (** Job count the default pool has (or will be created with). *)
+
+(** {2 Per-domain storage}
+
+    Reusable per-domain scratch (e.g. scan buffers): one value per
+    domain, created lazily by [init] on that domain's first
+    {!get_local}.  Workers of every pool — and the caller — each get
+    their own copy, so values need no synchronization as long as they
+    don't escape the domain.  Keys should be created once at module
+    initialization; each {!local} call allocates a fresh DLS slot. *)
+
+type 'a local
+
+val local : (unit -> 'a) -> 'a local
+(** Register a per-domain value with its initializer. *)
+
+val get_local : 'a local -> 'a
+(** This domain's copy, created on first use. *)

@@ -247,6 +247,85 @@ let prop_bound_admissible =
             assists)
         kernel_envs)
 
+(* Assist corner cases the batched scan's zero-guard branches must get
+   bit-for-bit right: dv exactly zero, negative zero, and subnormal
+   magnitudes where naive reassociation would flush differently. *)
+let corner_assists =
+  [ { Array_model.Components.vddc = 0.45; vssc = 0.0; vwl = 0.45 };
+    { Array_model.Components.vddc = 0.45; vssc = -0.0; vwl = 0.45 };
+    { Array_model.Components.vddc = 0.5; vssc = -4.9e-324; vwl = 0.5 };
+    { Array_model.Components.vddc = 0.55; vssc = -1e-310; vwl = 0.55 } ]
+
+let bits_equal x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+
+let prop_scan_bit_identical =
+  (* Stricter than [Float.equal]: raw IEEE bit comparison, so a -0.0
+     where the record path produced +0.0 fails the property. *)
+  QCheck.Test.make
+    ~name:"scan slots = eval_staged bit-for-bit (incl. -0.0/subnormal vssc)"
+    ~count:100
+    QCheck.(pair geometry_gen (list_of_size (Gen.int_range 1 6) assist_gen))
+    (fun (g, random_assists) ->
+      let assists = Array.of_list (corner_assists @ random_assists) in
+      List.for_all
+        (fun env ->
+          let open Array_model.Array_eval in
+          let st = stage env g in
+          let preps = Array.map (prepare env) assists in
+          let buf = scan_buffer () in
+          scan st preps buf;
+          let ok = ref (scan_length buf = Array.length assists) in
+          Array.iteri
+            (fun i a ->
+              let m = eval_staged st a in
+              ok :=
+                !ok
+                && bits_equal (scan_e_total buf).(i) m.e_total
+                && bits_equal (scan_d_array buf).(i) m.d_array
+                && bits_equal (scan_edp buf).(i) m.edp)
+            assists;
+          !ok)
+        kernel_envs)
+
+let prop_suffix_bounds_admissible =
+  (* The mid-scan abandonment invariant: scanning the [bound_prepared]
+     image of suffix envelope [j] yields slots that lower-bound every
+     real point at index >= j*block, for every objective's read fields.
+     If this held only approximately the batched search could abandon a
+     line containing the true winner. *)
+  QCheck.Test.make
+    ~name:"suffix-envelope bound slots lower-bound their whole suffix"
+    ~count:60
+    QCheck.(triple geometry_gen
+              (list_of_size (Gen.int_range 1 12) assist_gen) (int_range 1 4))
+    (fun (g, random_assists, block) ->
+      let assists = Array.of_list (corner_assists @ random_assists) in
+      List.for_all
+        (fun env ->
+          let open Array_model.Array_eval in
+          let st = stage env g in
+          let preps = Array.map (prepare env) assists in
+          let n = Array.length preps in
+          let bound_ps =
+            Array.map (bound_prepared env) (suffix_envelopes preps ~block)
+          in
+          let bbuf = scan_buffer () in
+          scan st bound_ps bbuf;
+          let buf = scan_buffer () in
+          scan st preps buf;
+          let ok = ref true in
+          for j = 0 to Array.length bound_ps - 1 do
+            for i = j * block to n - 1 do
+              ok :=
+                !ok
+                && (scan_e_total bbuf).(j) <= (scan_e_total buf).(i)
+                && (scan_d_array bbuf).(j) <= (scan_d_array buf).(i)
+                && (scan_edp bbuf).(j) <= (scan_edp buf).(i)
+            done
+          done;
+          !ok)
+        kernel_envs)
+
 let prop_pruned_search_matches_reference =
   (* Whole searches: the pruned staged scan must select the same design,
      bit for bit, as the never-pruning reference kernel. *)
@@ -277,6 +356,81 @@ let prop_pruned_search_matches_reference =
       && staged.Opt.Exhaustive.evaluated + staged.Opt.Exhaustive.pruned
          > 0
       && reference.Opt.Exhaustive.pruned = 0)
+
+(* Not a property but the strongest single determinism check we have:
+   the full paper sweep (all capacities x configs, staged kernel) must
+   reproduce one specific winner checksum — the value committed in
+   BENCH_kernel.json — at every job count.  Any reassociation slip in
+   the scan kernel, any order dependence in the parallel reduction, and
+   any pruning bound that is not strictly admissible shows up here as a
+   changed digest. *)
+let full_sweep_checksum = "67fd83cd67998ac0"
+
+let test_full_sweep_deterministic () =
+  let env_of =
+    let lvt = Array_model.Array_eval.make_env ~cell_flavor:Finfet.Library.Lvt () in
+    let hvt = Array_model.Array_eval.make_env ~cell_flavor:Finfet.Library.Hvt () in
+    function Finfet.Library.Lvt -> lvt | Finfet.Library.Hvt -> hvt
+  in
+  let levels_of =
+    let lvt = Opt.Yield.solve ~flavor:Finfet.Library.Lvt () in
+    let hvt = Opt.Yield.solve ~flavor:Finfet.Library.Hvt () in
+    function Finfet.Library.Lvt -> lvt | Finfet.Library.Hvt -> hvt
+  in
+  let sweep jobs =
+    let pool = Runtime.Pool.create ~jobs () in
+    let results =
+      List.concat_map
+        (fun capacity_bits ->
+          List.map
+            (fun (c : Sram_edp.Framework.config) ->
+              Opt.Exhaustive.search ~kernel:`Staged ~pool
+                ~levels:(levels_of c.Sram_edp.Framework.flavor)
+                ~env:(env_of c.Sram_edp.Framework.flavor) ~capacity_bits
+                ~method_:c.Sram_edp.Framework.method_ ())
+            Sram_edp.Framework.all_configs)
+        Sram_edp.Framework.paper_capacities
+    in
+    Runtime.Pool.shutdown pool;
+    Opt.Exhaustive.checksum results
+  in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "full-sweep checksum at %d jobs" jobs)
+        full_sweep_checksum (sweep jobs))
+    [ 1; 2; 4 ]
+
+(* The scan path's allocation contract, measured directly: once a
+   warm-up pass has grown the buffer, repeated scans must allocate
+   nothing — the inner loop writes into preallocated float arrays and
+   materializes no records.  1000 repetitions of a 26-point scan
+   amplify even one boxed float per point into megawords, while the
+   measurement's own boxing noise stays under a few dozen words. *)
+let test_scan_allocation_free () =
+  let open Array_model.Array_eval in
+  let env = make_env ~cell_flavor:Finfet.Library.Hvt () in
+  let g = Array_model.Geometry.create ~nr:256 ~nc:64 ~n_pre:4 ~n_wr:4 () in
+  let st = stage env g in
+  let preps =
+    Array.init 26 (fun i ->
+        prepare env
+          { Array_model.Components.vddc = 0.45;
+            vssc = -0.01 *. float_of_int i;
+            vwl = 0.45 })
+  in
+  let buf = scan_buffer () in
+  scan st preps buf;
+  let reps = 1000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to reps do
+    scan st preps buf
+  done;
+  let delta = Gc.minor_words () -. w0 in
+  let per_point = delta /. float_of_int (reps * Array.length preps) in
+  if per_point > 0.01 then
+    Alcotest.failf "scan allocated %.4f minor words per point (want 0)"
+      per_point
 
 (* --- workload --- *)
 
@@ -377,7 +531,12 @@ let () =
       ("staged_kernel",
        List.map to_alco
          [ prop_staged_bit_identical; prop_bound_admissible;
-           prop_pruned_search_matches_reference ]);
+           prop_scan_bit_identical; prop_suffix_bounds_admissible;
+           prop_pruned_search_matches_reference ]
+       @ [ Alcotest.test_case "full sweep reproduces committed checksum"
+             `Slow test_full_sweep_deterministic;
+           Alcotest.test_case "warm scan path allocates zero words"
+             `Quick test_scan_allocation_free ]);
       ("workload", List.map to_alco [ prop_trace_summary_bounds ]);
       ("deck", List.map to_alco [ prop_deck_roundtrip ]);
       ("macro", List.map to_alco [ prop_macro_matches_reference ]) ]
