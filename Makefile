@@ -10,10 +10,12 @@
 #   make bench-obs     observability overhead benchmark (writes BENCH_obs.json)
 #   make bench-persist checkpoint/resume bit-identity benchmark (BENCH_persist.json)
 #   make bench-serve   daemon load-generator benchmark (writes BENCH_serve.json)
+#   make smoke-serve-metrics  end-to-end Prometheus scrape of a live daemon
 #   make regen-golden  deliberately rewrite test/golden/* (review the diff!)
 
 .PHONY: all check check-tests test bench bench-kernel bench-kernel-opt \
-        bench-smoke bench-obs bench-persist bench-serve regen-golden clean
+        bench-smoke bench-obs bench-persist bench-serve \
+        smoke-serve-metrics regen-golden clean
 
 all:
 	dune build
@@ -26,6 +28,7 @@ check: check-tests
 	dune exec bench/main.exe -- obs --smoke
 	dune exec bench/main.exe -- persist --smoke
 	dune exec bench/main.exe -- serve --smoke
+	$(MAKE) smoke-serve-metrics
 
 # A test file that exists but is missing from the dune test stanza is
 # silently never run; fail loudly instead.
@@ -67,6 +70,12 @@ bench-persist:
 
 bench-serve:
 	dune exec bench/main.exe -- serve
+
+# Start a real daemon, scrape GET /metrics with stock curl, assert the
+# required series exist and the exposition format parses.
+smoke-serve-metrics:
+	dune build bin/sram_opt.exe
+	sh scripts/serve_metrics_smoke.sh
 
 regen-golden:
 	dune exec test/regen_golden.exe -- test/golden

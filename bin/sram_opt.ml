@@ -795,8 +795,8 @@ let deadline_ms_arg =
                  cancelled cleanly.")
 
 let serve_cmd =
-  let run socket tcp max_queue deadline_ms jobs stats trace progress log_level
-      persist =
+  let run socket tcp max_queue deadline_ms flight_dir slow_ms jobs stats trace
+      progress log_level persist =
     with_runtime ~trace ~progress ~log_level ~persist ~jobs ~stats @@ fun () ->
     let socket_path = if socket = "" then None else Some socket in
     let config =
@@ -804,7 +804,9 @@ let serve_cmd =
         Serve.Server.socket_path;
         tcp;
         max_queue;
-        default_deadline_ms = (if deadline_ms > 0.0 then Some deadline_ms else None) }
+        default_deadline_ms = (if deadline_ms > 0.0 then Some deadline_ms else None);
+        flight_dir = (if flight_dir = "" then None else Some flight_dir);
+        slow_ms = (if slow_ms > 0.0 then Some slow_ms else None) }
     in
     Printf.printf "sram_opt serve: pid %d, jobs %d, listening on %s%s\n%!"
       (Unix.getpid ()) jobs
@@ -825,6 +827,21 @@ let serve_cmd =
                    answered 'busy' immediately instead of queueing \
                    unbounded latency.")
   in
+  let flight_dir_arg =
+    Arg.(value & opt string ""
+         & info [ "flight-dir" ] ~docv:"DIR"
+             ~doc:"Directory for flight-recorder dumps (Perfetto-loadable \
+                   JSON written on deadline expiry, internal errors, slow \
+                   requests and SIGQUIT).  Defaults to the system temp \
+                   directory.")
+  in
+  let slow_ms_arg =
+    Arg.(value & opt float 0.0
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Slow-request threshold: a request whose end-to-end time \
+                   exceeds $(docv) is logged at warn and its span tree \
+                   dumped to the flight directory (0 = disabled).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the co-optimizer as a long-lived daemon answering \
@@ -839,6 +856,7 @@ let serve_cmd =
                gracefully: queued requests are answered, then the \
                listeners close." ])
     Term.(const run $ socket_arg $ tcp_arg $ max_queue $ deadline_ms_arg
+          $ flight_dir_arg $ slow_ms_arg
           $ jobs_arg $ stats_arg $ trace_arg $ progress_arg $ log_level_arg
           $ persist_term)
 
@@ -849,15 +867,20 @@ let query_cmd =
       | "optimize" -> Ok `Optimize
       | "ping" -> Ok `Ping
       | "stats" -> Ok `Stats
+      | "metrics" -> Ok `Metrics
       | "shutdown" -> Ok `Shutdown
       | _ ->
-        Error (`Msg (Printf.sprintf "bad endpoint %S (optimize|ping|stats|shutdown)" s))
+        Error
+          (`Msg
+             (Printf.sprintf
+                "bad endpoint %S (optimize|ping|stats|metrics|shutdown)" s))
     in
     let print ppf e =
       Format.fprintf ppf "%s"
         (match e with
          | `Optimize -> "optimize" | `Ping -> "ping"
-         | `Stats -> "stats" | `Shutdown -> "shutdown")
+         | `Stats -> "stats" | `Metrics -> "metrics"
+         | `Shutdown -> "shutdown")
     in
     Arg.conv (parse, print)
   in
@@ -874,9 +897,10 @@ let query_cmd =
     Arg.conv (parse, print)
   in
   let run socket tcp endpoint capacity flavor method_ objective accounting
-      reduced deadline_ms json =
+      reduced deadline_ms trace_id json =
     let socket_path = if socket = "" then None else Some socket in
     let deadline_ms = if deadline_ms > 0.0 then Some deadline_ms else None in
+    let trace_id = if trace_id = "" then None else Some trace_id in
     let connected =
       match tcp with
       | Some addr -> Serve.Client.connect ~tcp:addr ()
@@ -905,6 +929,9 @@ let query_cmd =
            (Result.map
               (fun j -> print_endline (Persist.Json.to_string j))
               (Serve.Client.stats client))
+       | `Metrics ->
+         finish
+           (Result.map print_string (Serve.Client.metrics client))
        | `Shutdown -> finish (Serve.Client.shutdown client)
        | `Optimize ->
          let query =
@@ -939,12 +966,12 @@ let query_cmd =
                   Printf.printf "  answered in  : %.3g ms (checksum %s)\n"
                     (1000.0 *. a.Serve.Client.eval_s) a.Serve.Client.checksum
                 end)
-              (Serve.Client.optimize ?deadline_ms client query)))
+              (Serve.Client.optimize ?deadline_ms ?trace_id client query)))
   in
   let endpoint_arg =
     Arg.(value & opt endpoint_conv `Optimize
          & info [ "endpoint"; "e" ] ~docv:"ENDPOINT"
-             ~doc:"optimize, ping, stats or shutdown.")
+             ~doc:"optimize, ping, stats, metrics or shutdown.")
   in
   let objective_arg =
     Arg.(value & opt objective_conv Opt.Objective.Energy_delay_product
@@ -962,12 +989,19 @@ let query_cmd =
          & info [ "deadline-ms" ] ~docv:"MS"
              ~doc:"Per-request budget sent with the query (0 = server default).")
   in
+  let trace_id_arg =
+    Arg.(value & opt string ""
+         & info [ "trace-id" ] ~docv:"ID"
+             ~doc:"Tag the request: the id is echoed in the response and \
+                   names the request in the server's spans, logs and \
+                   flight dumps (empty = server-generated).")
+  in
   Cmd.v
     (Cmd.info "query"
        ~doc:"Send one request to a running `sram_opt serve` daemon")
     Term.(const run $ socket_arg $ tcp_arg $ endpoint_arg $ capacity_arg
           $ flavor_arg $ method_arg $ objective_arg $ accounting_arg
-          $ reduced_arg $ query_deadline_arg $ json_flag)
+          $ reduced_arg $ query_deadline_arg $ trace_id_arg $ json_flag)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

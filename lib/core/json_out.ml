@@ -193,6 +193,64 @@ let of_telemetry (snap : Runtime.Telemetry.snapshot) =
                   ("total_s", Float s.Runtime.Telemetry.total_s) ])
             snap.Runtime.Telemetry.spans)) ]
 
+(* A windowed slice never emits min/max (re-estimated bounds, and
+   infinities when the window is empty) — just the sample count, sum
+   and quantiles, all of which are well-defined (0) for an empty
+   window. *)
+let of_window_slice label (s : Obs.Histogram.snapshot) =
+  Obj
+    [ ("window", String label);
+      ("samples", Int s.Obs.Histogram.count);
+      ("sum_s", Float s.Obs.Histogram.sum);
+      ("mean_s", Float (Obs.Histogram.mean s));
+      ("p50_s", Float (Obs.Histogram.percentile s 0.50));
+      ("p90_s", Float (Obs.Histogram.percentile s 0.90));
+      ("p99_s", Float (Obs.Histogram.percentile s 0.99)) ]
+
+(* The `windows` section of the stats schema (DESIGN.md §7): recent-
+   traffic views of the windowed histograms and SLO counters, absent
+   entirely for one-shot runs (nothing registered a window). *)
+let windows_json () =
+  let histograms = Obs.Window.report () in
+  let counters = Obs.Window.counter_report () in
+  if histograms = [] && counters = [] then None
+  else
+    Some
+      (Obj
+         [ ("period_s", Float (Obs.Window.current_period ()));
+           ("histograms",
+            List
+              (List.filter_map
+                 (fun (name, cumulative, windows) ->
+                   if cumulative.Obs.Histogram.count = 0 then None
+                   else
+                     Some
+                       (Obj
+                          [ ("name", String name);
+                            ("cumulative", of_histogram cumulative);
+                            ("windows",
+                             List
+                               (List.map
+                                  (fun (label, s) -> of_window_slice label s)
+                                  windows)) ]))
+                 histograms));
+           ("counters",
+            List
+              (List.map
+                 (fun (name, total, windows) ->
+                   Obj
+                     [ ("name", String name);
+                       ("total", Int total);
+                       ("windows",
+                        List
+                          (List.map
+                             (fun (label, delta) ->
+                               Obj
+                                 [ ("window", String label);
+                                   ("delta", Int delta) ])
+                             windows)) ])
+                 counters)) ])
+
 (* When the process is (or was) a server, surface the [serve.*] request
    counters as their own section — BENCH_serve.json and the `stats`
    endpoint then carry the serving telemetry under one key instead of
@@ -221,6 +279,12 @@ let runtime_stats_json () =
       ("memos", List (List.map of_memo_stats (Runtime.Memo.registered_stats ())));
       ("histograms", histograms_json ()) ]
   in
-  match server_stats_json () with
-  | None -> Obj base
-  | Some server -> Obj (base @ [ ("server", server) ])
+  let optional =
+    (match windows_json () with
+     | None -> []
+     | Some w -> [ ("windows", w) ])
+    @ (match server_stats_json () with
+       | None -> []
+       | Some server -> [ ("server", server) ])
+  in
+  Obj (base @ optional)

@@ -46,6 +46,18 @@ val of_histogram : Obs.Histogram.snapshot -> t
 val histograms_json : unit -> t
 (** Every registered {!Obs.Histogram} with at least one sample. *)
 
+val of_window_slice : string -> Obs.Histogram.snapshot -> t
+(** One trailing-window view: window label, sample count, sum, mean and
+    p50/p90/p99 — all well-defined (0) for an empty window, so slices
+    are always emittable (unlike {!of_histogram}). *)
+
+val windows_json : unit -> t option
+(** The ["windows"] section of the stats schema: the rotation period,
+    every {!Obs.Window}-registered histogram as cumulative +
+    per-window slices, and every tracked SLO counter as total +
+    per-window deltas.  [None] when nothing registered a window (one-
+    shot runs), keeping the non-serving schemas unchanged. *)
+
 val runtime_stats_json : unit -> t
 (** Default-pool job count, telemetry counters/spans, every memo
     cache's hit/miss/occupancy statistics, and all non-empty latency
@@ -53,4 +65,6 @@ val runtime_stats_json : unit -> t
     has served requests (any [serve.*] counter is nonzero) a ["server"]
     section repeats the request/admission counters with the prefix
     stripped, so the serving bench and `stats` endpoint share this
-    schema. *)
+    schema; a serving process likewise adds the ["windows"] section
+    ({!windows_json}).  The full schema is documented in DESIGN.md §7
+    and pinned by the [stats.json] golden. *)

@@ -164,6 +164,52 @@ let merge (a : snapshot) (b : snapshot) =
     gc_coincident = a.gc_coincident + b.gc_coincident;
     buckets = Array.mapi (fun i c -> c + b.buckets.(i)) a.buckets }
 
+(* [diff newer older]: the observations recorded between two snapshots
+   of the SAME histogram.  Counts, bucket counts and gc hits subtract
+   exactly (ints); the sum subtracts in one operation, so a window whose
+   older endpoint is the zero baseline reproduces the cumulative sum
+   bit-for-bit.  The true min/max of the in-between observations are not
+   recoverable from cumulative extrema, so they are re-estimated from
+   the surviving buckets' bounds — [percentile] only uses them as
+   clamps, and a bucket bound is always a valid clamp for the bucket's
+   contents. *)
+let diff (newer : snapshot) (older : snapshot) =
+  if newer.lo <> older.lo
+     || Array.length newer.buckets <> Array.length older.buckets
+  then invalid_arg "Histogram.diff: bucket layouts differ";
+  let buckets =
+    Array.mapi (fun i c -> max 0 (c - older.buckets.(i))) newer.buckets
+  in
+  let count = max 0 (newer.count - older.count) in
+  let lowest = ref (-1) and highest = ref (-1) in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        if !lowest < 0 then lowest := i;
+        highest := i
+      end)
+    buckets;
+  let min_s, max_s =
+    if count = 0 || !lowest < 0 then (infinity, neg_infinity)
+    else begin
+      let lower0, _ = bucket_bounds newer !lowest in
+      let _, upper1 = bucket_bounds newer !highest in
+      (* The cumulative extrema bound every sample ever seen, including
+         the window's, so they tighten the bucket-edge estimate where
+         they are sharper. *)
+      (Float.max lower0 newer.min_s, Float.min upper1 newer.max_s)
+    end
+  in
+  { name = newer.name;
+    sample = newer.sample;
+    lo = newer.lo;
+    count;
+    sum = newer.sum -. older.sum;
+    min_s;
+    max_s;
+    gc_coincident = max 0 (newer.gc_coincident - older.gc_coincident);
+    buckets }
+
 let percentile (s : snapshot) p =
   if s.count = 0 then 0.0
   else begin

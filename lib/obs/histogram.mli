@@ -83,6 +83,19 @@ val bucket_bounds : snapshot -> int -> float * float
 val merge : snapshot -> snapshot -> snapshot
 (** Pointwise sum.  [Invalid_argument] when the bucket layouts differ. *)
 
+val diff : snapshot -> snapshot -> snapshot
+(** [diff newer older]: the observations recorded between two snapshots
+    of the same histogram — counts, bucket counts, sum and gc tallies
+    subtract (exactly, for the integer fields; the sum in one float
+    subtraction, so a diff against a zero baseline reproduces the
+    cumulative sum bit-for-bit).  min/max are re-estimated from the
+    surviving buckets' bounds, tightened by the cumulative extrema —
+    valid clamps for {!percentile}, not the exact in-window extrema.
+    [Invalid_argument] when the bucket layouts differ.  This is the
+    windowed-metrics primitive: {!Obs.Window} keeps cumulative
+    snapshots at rotation points and serves any trailing window as one
+    [diff]. *)
+
 val percentile : snapshot -> float -> float
 (** [percentile s 0.99]: linear interpolation inside the covering
     bucket, clamped to the observed [min_s, max_s]; monotone in the

@@ -42,16 +42,41 @@ let set_channel c =
   channel := c;
   Mutex.unlock lock
 
+(* Secondary consumer of warn+ lines, independent of the console level:
+   the flight recorder captures recent warnings/errors even when the
+   console is quiet.  A ref, not a direct call into Flight, so Log stays
+   at the bottom of the dependency order. *)
+let sink : (float -> level -> string -> string -> string -> unit) option ref =
+  ref None
+
+let set_sink s =
+  Mutex.lock lock;
+  sink := s;
+  Mutex.unlock lock
+
 let t0 = Clock.now ()
 
 let emit l section msg =
+  let ts = Clock.now () -. t0 in
+  let ctx = match Trace.get_context () with Some id -> id | None -> "" in
   Mutex.lock lock;
-  Printf.fprintf !channel "[%8.3f] %-5s %s: %s\n%!" (Clock.now () -. t0)
-    (to_string l) section msg;
+  if enabled l then begin
+    if ctx = "" then
+      Printf.fprintf !channel "[%8.3f] %-5s %s: %s\n%!" ts (to_string l)
+        section msg
+    else
+      Printf.fprintf !channel "[%8.3f] %-5s %s: %s [trace_id=%s]\n%!" ts
+        (to_string l) section msg ctx
+  end;
+  (match !sink with
+  | Some f when severity l <= severity Warn -> f ts l section msg ctx
+  | _ -> ());
   Mutex.unlock lock
 
 let msg l ~section fmt =
-  Printf.ksprintf (fun s -> if enabled l then emit l section s) fmt
+  Printf.ksprintf
+    (fun s -> if enabled l || !sink <> None then emit l section s)
+    fmt
 
 let error ~section fmt = msg Error ~section fmt
 let warn ~section fmt = msg Warn ~section fmt

@@ -1,5 +1,6 @@
-(** Hierarchical spans with per-domain event buffers and a Chrome
-    trace-event exporter.
+(** Hierarchical spans with per-domain event buffers, a Chrome
+    trace-event exporter, request-scoped trace ids, and an always-on
+    bounded flight ring.
 
     Each recording domain appends begin/end events into its own
     growable buffer (registered once, under a mutex, at the domain's
@@ -8,19 +9,37 @@
     Chrome trace-event JSON format, one timeline (tid) per domain slot,
     loadable in Perfetto or chrome://tracing.
 
-    Tracing is off by default; {!start} arms it.  [`Fine] detail also
-    enables the per-geometry spans the search layer guards with
-    {!fine_active} (tens of thousands of events per search); [`Coarse]
-    keeps only the structural spans (sweep / search / chunks /
-    characterization). *)
+    Two independent recorders share the same instrumentation points:
 
-type phase = B | E | I
+    - {e Tracing} ({!start} / {!stop}) — the explicit [--trace] run:
+      growable buffers capture everything until exported with {!write}.
+      [`Fine] detail also enables the per-geometry spans the search
+      layer guards with {!fine_active}; [`Coarse] keeps only the
+      structural spans.
+    - The {e flight ring} ({!arm_flight}) — a fixed-size per-domain
+      overwrite-oldest ring of recent coarse spans that a long-running
+      daemon keeps armed for its whole life.  {!flight_events} returns
+      the retained window; {!Flight} turns it into postmortem dump
+      files.
+
+    Events carry the current {e trace context} — a request-scoped id
+    set by the serving path around each request — so every span
+    recorded while handling a request can be attributed to it in the
+    exported timeline ([args.trace_id] in the Chrome JSON). *)
+
+type phase =
+  | B | E       (** span begin/end pairs, recorded while tracing *)
+  | I           (** zero-duration marker *)
+  | X of float  (** complete span with its duration in seconds —
+                    recorded at span close when only the flight ring is
+                    listening, so a span costs one ring slot, not two *)
 
 type event = {
   ev_name : string;
   ev_phase : phase;
-  ev_ts : float;  (** seconds since {!start} *)
-  ev_slot : int;  (** recording domain's {!Control.slot} *)
+  ev_ts : float;   (** seconds since {!start} / first {!arm_flight} *)
+  ev_slot : int;   (** recording domain's {!Control.slot} *)
+  ev_ctx : string; (** trace context at record time; [""] = none *)
 }
 
 val start : ?detail:[ `Fine | `Coarse ] -> unit -> unit
@@ -30,9 +49,28 @@ val stop : unit -> unit
 (** Stop recording; buffered events stay available for {!write}. *)
 
 val active : unit -> bool
+(** Recording into the trace buffers or the flight ring. *)
 
 val fine_active : unit -> bool
-(** Recording, and at [`Fine] detail — gates high-volume spans. *)
+(** Tracing (not just flight-recording), at [`Fine] detail — gates
+    high-volume per-candidate spans. *)
+
+(** {2 Request context} *)
+
+val set_context : string -> unit
+(** Set the trace id stamped into subsequently recorded events and
+    {!Log} lines.  Process-wide: the serving path handles one request
+    at a time, and worker domains inherit the id for free. *)
+
+val clear_context : unit -> unit
+
+val get_context : unit -> string option
+
+val with_context : string -> (unit -> 'a) -> 'a
+(** Run with the context set, restoring the previous value
+    (exception-safe). *)
+
+(** {2 Spans} *)
 
 val with_span : string -> (unit -> 'a) -> 'a
 (** [with_span name f]: wrap [f] in begin/end events when recording
@@ -41,12 +79,39 @@ val with_span : string -> (unit -> 'a) -> 'a
 val instant : string -> unit
 (** A zero-duration marker event. *)
 
+(** {2 Flight ring} *)
+
+val arm_flight : ?capacity:int -> unit -> unit
+(** Record every coarse span/instant into a per-domain ring of
+    [capacity] events (default 4096, min 16), overwriting the oldest.
+    Rings created before arming keep their original capacity. *)
+
+val disarm_flight : unit -> unit
+
+val flight_armed : unit -> bool
+
+val flight_events : unit -> event list
+(** The retained ring contents across all domains, oldest first per
+    domain, merged in timestamp order. *)
+
+val epoch : unit -> float
+(** The clock value [ev_ts] is measured from (0.0 before any {!start}
+    or {!arm_flight}) — lets {!Flight} place log lines on the same time
+    axis as span events. *)
+
+(** {2 Export} *)
+
 val events : unit -> event list
-(** All buffered events, sorted by timestamp (stable per domain). *)
+(** All buffered trace events, sorted by timestamp (stable per
+    domain). *)
+
+val chrome_string_of_events : event list -> string
+(** An arbitrary event list as one Chrome trace-event JSON document,
+    with process/thread-name metadata per slot and [args.trace_id] on
+    context-tagged events. *)
 
 val to_chrome_string : unit -> string
-(** The buffered events as one Chrome trace-event JSON document, with
-    process/thread-name metadata per slot. *)
+(** [chrome_string_of_events (events ())]. *)
 
 val write : string -> int
 (** Write {!to_chrome_string} to a file; returns the event count. *)

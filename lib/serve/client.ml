@@ -31,10 +31,10 @@ let connect ?tcp ?socket_path () =
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let call ?deadline_ms t endpoint =
+let call ?deadline_ms ?trace_id t endpoint =
   let id = t.next_id in
   t.next_id <- id + 1;
-  let req = { P.id; deadline_ms; endpoint } in
+  let req = { P.id; deadline_ms; trace_id; endpoint } in
   match Frame.write t.fd (J.to_string (P.request_to_json req)) with
   | exception Unix.Unix_error (e, _, _) ->
     Error (Printf.sprintf "send: %s" (Unix.error_message e))
@@ -58,6 +58,12 @@ let payload_of = function
 
 let ping t = payload_of (call t P.Ping)
 let stats t = payload_of (call t P.Stats)
+
+let metrics t =
+  match payload_of (call t P.Metrics) with
+  | Error _ as e -> e
+  | Ok (J.String text) -> Ok text
+  | Ok _ -> Error "metrics payload: expected a string"
 
 let shutdown t =
   match payload_of (call t P.Shutdown) with
@@ -93,8 +99,8 @@ type answer = {
   result : Opt.Exhaustive.result;
 }
 
-let optimize ?deadline_ms t query =
-  match payload_of (call ?deadline_ms t (P.Optimize query)) with
+let optimize ?deadline_ms ?trace_id t query =
+  match payload_of (call ?deadline_ms ?trace_id t (P.Optimize query)) with
   | Error _ as e -> e
   | Ok payload -> (
     let field name get =

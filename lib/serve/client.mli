@@ -24,11 +24,14 @@ val wait_ready :
 val close : t -> unit
 
 val call :
-  ?deadline_ms:float -> t -> Protocol.endpoint ->
+  ?deadline_ms:float -> ?trace_id:string -> t -> Protocol.endpoint ->
   (Protocol.response, string) result
 (** Send one request (ids are assigned per connection) and block for
     its response.  [Error] covers transport and framing failures; a
-    server-side failure comes back as [Ok] with an error body. *)
+    server-side failure comes back as [Ok] with an error body.
+    [trace_id] names the request in the server's spans, logs and
+    flight dumps; the response's [rtrace_id] echoes it (or carries the
+    server-generated id when omitted). *)
 
 (** {2 Typed conveniences} — unwrap [Ok] payloads, folding protocol
     errors into the [Error] string. *)
@@ -36,6 +39,11 @@ val call :
 val ping : t -> (Persist.Json.t, string) result
 
 val stats : t -> (Persist.Json.t, string) result
+
+val metrics : t -> (string, string) result
+(** The Prometheus text exposition ({!Metrics.render}), fetched over
+    the frame protocol (the [GET /metrics] HTTP shim serves the same
+    string). *)
 
 val shutdown : t -> (unit, string) result
 
@@ -48,7 +56,8 @@ type answer = {
 }
 
 val optimize :
-  ?deadline_ms:float -> t -> Protocol.query -> (answer, string) result
+  ?deadline_ms:float -> ?trace_id:string -> t -> Protocol.query ->
+  (answer, string) result
 (** The decoded winner is bit-exact: the wire codec preserves every
     float bit, so [answer.result] equals what the server computed and
     [checksum] re-derives locally. *)

@@ -90,6 +90,8 @@ let feed d b n = Buffer.add_subbytes d.buf b 0 n
 
 let buffered d = Buffer.length d.buf - d.consumed
 
+let peek d = Buffer.sub d.buf d.consumed (buffered d)
+
 let next d =
   match d.failed with
   | Some e -> Error e

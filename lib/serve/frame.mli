@@ -50,3 +50,9 @@ val next : decoder -> (string option, error) result
 val buffered : decoder -> int
 (** Bytes held but not yet consumed — nonzero at EOF means the peer
     died mid-frame. *)
+
+val peek : decoder -> string
+(** The unconsumed bytes, without consuming them.  The server's
+    HTTP shim sniffs these to tell a plain-text [GET /metrics] from a
+    frame stream (an ASCII request line read as a u32-LE length is
+    ~500 MB — no valid frame starts that way). *)

@@ -49,17 +49,20 @@ type endpoint =
   | Ping
   | Optimize of query
   | Stats
+  | Metrics
   | Shutdown
 
 let endpoint_name = function
   | Ping -> "ping"
   | Optimize _ -> "optimize"
   | Stats -> "stats"
+  | Metrics -> "metrics"
   | Shutdown -> "shutdown"
 
 type request = {
   id : int;
   deadline_ms : float option;
+  trace_id : string option;
   endpoint : endpoint;
 }
 
@@ -87,6 +90,7 @@ let error_code_of_string = function
 
 type response = {
   rid : int;
+  rtrace_id : string option;  (* echo of the request's trace id *)
   body : (J.t, error_code * string) result;
 }
 
@@ -149,27 +153,39 @@ let request_to_json (r : request) =
     | None -> []
     | Some ms -> [ ("deadline_ms", J.Float ms) ]
   in
+  let trace =
+    match r.trace_id with
+    | None -> []
+    | Some id -> [ ("trace_id", J.String id) ]
+  in
   let query =
     match r.endpoint with
     | Optimize q -> [ ("query", query_to_json q) ]
-    | Ping | Stats | Shutdown -> []
+    | Ping | Stats | Metrics | Shutdown -> []
   in
   J.Obj
     ([ ("id", J.Int r.id);
        ("endpoint", J.String (endpoint_name r.endpoint)) ]
-    @ deadline @ query)
+    @ deadline @ trace @ query)
 
 let response_to_json (r : response) =
+  let trace =
+    match r.rtrace_id with
+    | None -> []
+    | Some id -> [ ("trace_id", J.String id) ]
+  in
   match r.body with
   | Ok payload ->
     J.Obj
-      [ ("id", J.Int r.rid); ("status", J.String "ok"); ("payload", payload) ]
+      ([ ("id", J.Int r.rid); ("status", J.String "ok") ]
+      @ trace
+      @ [ ("payload", payload) ])
   | Error (code, message) ->
     J.Obj
-      [ ("id", J.Int r.rid);
-        ("status", J.String "error");
-        ("code", J.String (error_code_to_string code));
-        ("message", J.String message) ]
+      ([ ("id", J.Int r.rid); ("status", J.String "error") ]
+      @ trace
+      @ [ ("code", J.String (error_code_to_string code));
+          ("message", J.String message) ])
 
 (* ----- decoding ----- *)
 
@@ -255,10 +271,12 @@ let request_of_json j =
   let* id = require "id" (J.int_field j "id") in
   let* endpoint_s = require "endpoint" (J.string_field j "endpoint") in
   let deadline_ms = J.float_field j "deadline_ms" in
+  let trace_id = J.string_field j "trace_id" in
   let* endpoint =
     match endpoint_s with
     | "ping" -> Ok Ping
     | "stats" -> Ok Stats
+    | "metrics" -> Ok Metrics
     | "shutdown" -> Ok Shutdown
     | "optimize" ->
       let* qj = require "query" (J.member "query" j) in
@@ -266,18 +284,19 @@ let request_of_json j =
       Ok (Optimize q)
     | other -> Error (Printf.sprintf "unknown endpoint %S" other)
   in
-  Ok { id; deadline_ms; endpoint }
+  Ok { id; deadline_ms; trace_id; endpoint }
 
 let response_of_json j =
   let* rid = require "id" (J.int_field j "id") in
   let* status = require "status" (J.string_field j "status") in
+  let rtrace_id = J.string_field j "trace_id" in
   match status with
   | "ok" ->
     let* payload = require "payload" (J.member "payload" j) in
-    Ok { rid; body = Ok payload }
+    Ok { rid; rtrace_id; body = Ok payload }
   | "error" ->
     let* code_s = require "code" (J.string_field j "code") in
     let* code = require ("code " ^ code_s) (error_code_of_string code_s) in
     let message = Option.value ~default:"" (J.string_field j "message") in
-    Ok { rid; body = Error (code, message) }
+    Ok { rid; rtrace_id; body = Error (code, message) }
   | other -> Error (Printf.sprintf "unknown status %S" other)

@@ -39,15 +39,20 @@ type endpoint =
   | Ping                (** liveness probe; payload echoes the server pid *)
   | Optimize of query   (** one co-optimization; payload is the winner *)
   | Stats               (** runtime telemetry snapshot *)
+  | Metrics             (** Prometheus text exposition (payload: one string) *)
   | Shutdown            (** ack, then drain and exit the serve loop *)
 
 val endpoint_name : endpoint -> string
-(** "ping" / "optimize" / "stats" / "shutdown" — histogram and counter
-    labels. *)
+(** "ping" / "optimize" / "stats" / "metrics" / "shutdown" — histogram
+    and counter labels. *)
 
 type request = {
   id : int;
   deadline_ms : float option;  (** admission-relative; None = server default *)
+  trace_id : string option;
+  (** client-chosen request-scoped id; the server generates one when
+      absent, tags the request's spans and log lines with it, and
+      echoes it in the response either way *)
   endpoint : endpoint;
 }
 
@@ -62,6 +67,10 @@ val error_code_to_string : error_code -> string
 
 type response = {
   rid : int;  (** echoes {!request.id} *)
+  rtrace_id : string option;
+  (** the trace id this request ran under (client-supplied or
+      server-generated); [None] only when the request never reached the
+      handler (e.g. an unparseable frame) *)
   body : (Persist.Json.t, error_code * string) result;
 }
 

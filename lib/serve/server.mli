@@ -27,7 +27,26 @@
 
     Telemetry: per-endpoint counters ([serve.req.*]) and latency
     histograms ([serve.queue_wait], [serve.handle.*], [serve.e2e])
-    feed [--stats], the [stats] endpoint and BENCH_serve.json. *)
+    feed [--stats], the [stats] endpoint and BENCH_serve.json.
+
+    Observability (on by default; the bench harness turns it off to
+    measure its own overhead): every parsed request runs under a trace
+    id — the client's, or a server-generated [t-<pid>-<n>] — echoed in
+    the response, stamped on every span and log line recorded while
+    handling it, and wrapped in a [serve.request.<endpoint>] span.  The
+    latency histograms get {!Obs.Window}ed views (rotated from the
+    serve loop) so [stats] and [metrics] report recent p50/p99
+    alongside cumulative, with the SLO counters (deadline misses, busy
+    rejections, frame errors) windowed the same way.  {!Obs.Flight} is
+    armed for the server's lifetime; a deadline miss, internal error,
+    over-[slow_ms] response or SIGQUIT dumps the recent span/log rings
+    as a Perfetto-loadable file in [flight_dir].
+
+    Monitoring: any connection whose first bytes are ["GET "] is served
+    as one plain-HTTP exchange — [GET /metrics] answers the Prometheus
+    text exposition ({!Metrics.render}), [/healthz] answers [ok] — so a
+    stock Prometheus scrapes the same TCP listener the frame protocol
+    uses. *)
 
 type config = {
   socket_path : string option;  (** Unix-domain listener (unlinked on exit) *)
@@ -37,11 +56,19 @@ type config = {
       (** budget for requests that set none; [None] = unlimited *)
   max_frame : int;              (** per-frame byte cap *)
   install_signals : bool;       (** drain on SIGINT/SIGTERM (default true) *)
+  observability : bool;
+      (** trace ids, windowed metrics and the flight recorder
+          (default true; the bench baseline turns it off) *)
+  flight_dir : string option;   (** flight-dump directory; [None] = temp dir *)
+  slow_ms : float option;
+      (** responses slower than this log a warning and dump the flight
+          ring; [None] disables the slow-request dump *)
 }
 
 val default_config : config
 (** No listeners (callers must set at least one), queue of 64, no
-    default deadline, {!Frame.max_frame_default}, signals installed. *)
+    default deadline, {!Frame.max_frame_default}, signals installed,
+    observability on, temp-dir flight dumps, no slow threshold. *)
 
 type summary = {
   connections : int;  (** accepted over the server's lifetime *)

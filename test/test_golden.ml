@@ -55,11 +55,23 @@ let structure_tests =
           (match Persist.Json.to_list v with
           | Some rows -> Alcotest.(check int) "rows" n_expected (List.length rows)
           | None -> Alcotest.fail "table4.json is not a JSON array"));
+    case "stats schema covers every section of the serving payload"
+      (fun () ->
+        match Persist.Json.of_string (Golden_gen.stats_schema ()) with
+        | Error msg -> Alcotest.failf "stats.json does not parse: %s" msg
+        | Ok v ->
+          List.iter
+            (fun key ->
+              if Persist.Json.member key v = None then
+                Alcotest.failf "stats schema lost its %S section" key)
+            [ "jobs"; "telemetry"; "memos"; "histograms"; "windows";
+              "server" ]);
   ]
 
 let () =
   Alcotest.run "golden"
     [ ( "files",
-        List.map check_golden [ "table4.json"; "report.txt"; "datasheet.txt" ] );
+        List.map check_golden
+          [ "table4.json"; "report.txt"; "datasheet.txt"; "stats.json" ] );
       ("structure", structure_tests);
     ]

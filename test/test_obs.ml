@@ -182,6 +182,136 @@ let histogram_property_tests =
     to_alco prop_percentiles_ordered;
     to_alco prop_bucket_roundtrip ]
 
+(* ----- Windowed metrics ----- *)
+
+(* Exact equality for the windowed-ring invariant: counts and buckets
+   as ints, the sum by bits (the full-history window diffs against the
+   zero baseline, so even the float must reproduce). *)
+let exact_eq (a : Obs.Histogram.snapshot) (b : Obs.Histogram.snapshot) =
+  a.Obs.Histogram.count = b.Obs.Histogram.count
+  && Int64.bits_of_float a.Obs.Histogram.sum
+     = Int64.bits_of_float b.Obs.Histogram.sum
+  && a.Obs.Histogram.buckets = b.Obs.Histogram.buckets
+  && a.Obs.Histogram.gc_coincident = b.Obs.Histogram.gc_coincident
+
+let batches_gen =
+  QCheck.(
+    list_of_size (Gen.int_range 1 12)
+      (list_of_size (Gen.int_range 0 40) latency_gen))
+
+let prop_window_full_history_equals_cumulative =
+  QCheck.Test.make
+    ~name:"full-history window equals the cumulative histogram at every rotation"
+    ~count:60 batches_gen
+    (fun batches ->
+      let h = Obs.Histogram.create (fresh_name "winfull") in
+      let w = Obs.Window.create ~intervals:16 h in
+      List.for_all
+        (fun batch ->
+          List.iter (Obs.Histogram.observe h) batch;
+          Obs.Window.rotate w;
+          exact_eq
+            (Obs.Window.merged w ~intervals:16)
+            (Obs.Histogram.snapshot h))
+        batches)
+
+let prop_one_interval_window_sees_only_its_batch =
+  QCheck.Test.make
+    ~name:"one-interval window holds exactly the samples since the last rotation"
+    ~count:60 batches_gen
+    (fun batches ->
+      let h = Obs.Histogram.create (fresh_name "winone") in
+      let w = Obs.Window.create ~intervals:16 h in
+      Obs.Window.rotate w;
+      List.for_all
+        (fun batch ->
+          List.iter (Obs.Histogram.observe h) batch;
+          let m = Obs.Window.merged w ~intervals:1 in
+          let seen = m.Obs.Histogram.count = List.length batch in
+          Obs.Window.rotate w;
+          let drained =
+            (Obs.Window.merged w ~intervals:1).Obs.Histogram.count = 0
+          in
+          seen && drained)
+        batches)
+
+let window_tests =
+  [ to_alco prop_window_full_history_equals_cumulative;
+    to_alco prop_one_interval_window_sees_only_its_batch;
+    case "cold-start spike ages out of the window, stays cumulative"
+      (fun () ->
+        let h = Obs.Histogram.create (fresh_name "aging") in
+        let w = Obs.Window.create ~intervals:4 h in
+        (* One slow cold-start request... *)
+        Obs.Histogram.observe h 0.5;
+        (* ...ages past the ring... *)
+        for _ = 1 to 5 do
+          Obs.Window.rotate w
+        done;
+        (* ...then warm traffic. *)
+        for _ = 1 to 50 do
+          Obs.Histogram.observe h 2e-6
+        done;
+        let windowed = Obs.Window.merged w ~intervals:4 in
+        let cumulative = Obs.Window.cumulative w in
+        Alcotest.(check int) "window holds only recent" 50
+          windowed.Obs.Histogram.count;
+        Alcotest.(check int) "cumulative holds everything" 51
+          cumulative.Obs.Histogram.count;
+        check_within "windowed p99 is the warm path" ~lo:0.0 ~hi:1e-4
+          (Obs.Histogram.percentile windowed 0.99);
+        check_within "cumulative p99 still remembers the spike" ~lo:0.01
+          ~hi:0.5
+          (Obs.Histogram.percentile cumulative 0.99));
+    case "tracked counters expose windowed deltas" (fun () ->
+        let v = ref 0 in
+        let name = fresh_name "slo" in
+        Obs.Window.track name (fun () -> !v);
+        v := 5;
+        Obs.Window.rotate_all ();
+        v := 12;
+        let row () =
+          match
+            List.find_opt
+              (fun (n, _, _) -> n = name)
+              (Obs.Window.counter_report ())
+          with
+          | Some r -> r
+          | None -> Alcotest.failf "counter %s not reported" name
+        in
+        let _, current, windows = row () in
+        Alcotest.(check int) "current value" 12 current;
+        List.iter
+          (fun (label, delta) ->
+            Alcotest.(check int)
+              (label ^ " delta falls back to the creation baseline") 12 delta)
+          windows;
+        (* Ten quiet rotations: the early bump leaves the 10s window but
+           stays in the longer ones. *)
+        for _ = 1 to 10 do
+          Obs.Window.rotate_all ()
+        done;
+        let _, _, windows = row () in
+        Alcotest.(check int) "10s delta drained" 0 (List.assoc "10s" windows);
+        Alcotest.(check int) "300s delta retained" 12
+          (List.assoc "300s" windows));
+    case "maybe_rotate rotates once per elapsed period" (fun () ->
+        Obs.Window.reset_all ();
+        let h = Obs.Histogram.create (fresh_name "period") in
+        let w = Obs.Window.create h in
+        Obs.Window.maybe_rotate ~now:100.0 ();
+        Obs.Window.maybe_rotate ~now:100.5 ();
+        Alcotest.(check int) "within the period: no rotation" 0
+          (Obs.Window.retained w);
+        Obs.Window.maybe_rotate ~now:101.1 ();
+        Alcotest.(check int) "one period: one rotation" 1
+          (Obs.Window.retained w);
+        (* A stalled loop catches up one rotation per missed period. *)
+        Obs.Window.maybe_rotate ~now:104.2 ();
+        Alcotest.(check int) "three missed periods: three rotations" 4
+          (Obs.Window.retained w);
+        Obs.Window.reset_all ()) ]
+
 (* ----- Trace ----- *)
 
 (* Every B must close with an E on its own slot's timeline. *)
@@ -209,7 +339,7 @@ let check_balanced events =
         | [] ->
           Alcotest.failf "E %S without B on slot %d" e.Obs.Trace.ev_name
             e.Obs.Trace.ev_slot)
-      | Obs.Trace.I -> ())
+      | Obs.Trace.I | Obs.Trace.X _ -> ())
     events;
   Hashtbl.iter
     (fun slot stack ->
@@ -291,6 +421,132 @@ let trace_tests =
         Alcotest.(check bool) "per-geometry eval spans (fine)" true
           (has "exhaustive.eval")) ]
 
+(* ----- Trace context ----- *)
+
+let context_tests =
+  [ case "with_context tags exported events and restores on exit" (fun () ->
+        Obs.Trace.start ();
+        Obs.Trace.with_context "ctx-42" (fun () ->
+            Obs.Trace.with_span "ctxspan" (fun () -> ()));
+        Obs.Trace.stop ();
+        Alcotest.(check bool) "context cleared after with_context" true
+          (Obs.Trace.get_context () = None);
+        let json = Obs.Trace.to_chrome_string () in
+        Alcotest.(check bool) "span carries args.trace_id" true
+          (contains ~needle:"\"args\":{\"trace_id\":\"ctx-42\"}" json));
+    case "with_context restores the previous id on exception" (fun () ->
+        Obs.Trace.set_context "outer-ctx";
+        (try Obs.Trace.with_context "inner-ctx" (fun () -> failwith "boom")
+         with Failure _ -> ());
+        Alcotest.(check (option string)) "outer restored" (Some "outer-ctx")
+          (Obs.Trace.get_context ());
+        Obs.Trace.clear_context ();
+        Alcotest.(check bool) "cleared" true (Obs.Trace.get_context () = None))
+  ]
+
+(* ----- Flight recorder ----- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text
+
+let with_log_capture level f =
+  let path = Filename.temp_file "sram_opt_log" ".txt" in
+  let oc = open_out path in
+  let saved = Obs.Log.level () in
+  Obs.Log.set_channel oc;
+  Obs.Log.set_level level;
+  f ();
+  Obs.Log.set_level saved;
+  Obs.Log.set_channel stderr;
+  close_out oc;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  text
+
+let flight_tests =
+  [ case "flight ring is bounded and keeps the newest events" (fun () ->
+        Obs.Trace.arm_flight ~capacity:32 ();
+        for i = 1 to 200 do
+          Obs.Trace.instant (Printf.sprintf "fl.%d" i)
+        done;
+        Obs.Trace.disarm_flight ();
+        let evs = Obs.Trace.flight_events () in
+        Alcotest.(check bool) "bounded by capacity" true
+          (List.length evs <= 32);
+        let names = List.map (fun e -> e.Obs.Trace.ev_name) evs in
+        Alcotest.(check bool) "newest retained" true (List.mem "fl.200" names);
+        Alcotest.(check bool) "oldest overwritten" false
+          (List.mem "fl.1" names));
+    case "log sink captures warn+ even with a quiet console" (fun () ->
+        Obs.Flight.arm ();
+        let text =
+          with_log_capture Obs.Log.Quiet (fun () ->
+              Obs.Log.warn ~section:"flight" "sinkme %d" 7;
+              Obs.Log.info ~section:"flight" "below the sink bar")
+        in
+        Alcotest.(check string) "console stayed quiet" "" text;
+        let logs = Obs.Flight.recent_logs () in
+        Alcotest.(check bool) "warn captured" true
+          (List.exists
+             (fun le -> contains ~needle:"sinkme 7" le.Obs.Flight.le_text)
+             logs);
+        Alcotest.(check bool) "info not captured" false
+          (List.exists
+             (fun le -> contains ~needle:"below the sink" le.Obs.Flight.le_text)
+             logs);
+        Obs.Flight.disarm ());
+    case "dump writes a Perfetto-loadable file carrying the trace id"
+      (fun () ->
+        let dir =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "sram_opt_flight_%d" (Unix.getpid ()))
+        in
+        Obs.Flight.arm ~dir ();
+        Obs.Trace.with_context "tid-obs-1" (fun () ->
+            Obs.Trace.with_span "flight.work" (fun () ->
+                ignore
+                  (with_log_capture Obs.Log.Quiet (fun () ->
+                       Obs.Log.warn ~section:"flight" "trouble brewing"))));
+        (match Obs.Flight.dump ~reason:"unit test" ~trace_id:"tid-obs-1" () with
+        | None -> Alcotest.fail "dump refused to write"
+        | Some path ->
+          let text = read_file path in
+          Alcotest.(check bool) "chrome trace shape" true
+            (contains ~needle:"\"traceEvents\"" text);
+          Alcotest.(check bool) "span retained" true
+            (contains ~needle:"flight.work" text);
+          Alcotest.(check bool) "warn line retained" true
+            (contains ~needle:"log.warn flight: trouble brewing" text);
+          Alcotest.(check bool) "trace id attributed" true
+            (contains ~needle:"\"trace_id\":\"tid-obs-1\"" text);
+          Alcotest.(check bool) "dump reason marker" true
+            (contains ~needle:"flight.dump: unit test" text);
+          (match Persist.Json.of_string text with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "dump is not valid JSON: %s" e);
+          Sys.remove path);
+        Obs.Flight.disarm ());
+    case "dump cap stops a crash loop from filling the disk" (fun () ->
+        let dir =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "sram_opt_flightcap_%d" (Unix.getpid ()))
+        in
+        Obs.Flight.arm ~dir ();
+        Obs.Flight.set_max_dumps (Obs.Flight.dumps_written () + 1);
+        (match Obs.Flight.dump ~reason:"allowed" () with
+        | Some path -> Sys.remove path
+        | None -> Alcotest.fail "first dump should write");
+        Alcotest.(check bool) "second dump refused" true
+          (Obs.Flight.dump ~reason:"refused" () = None);
+        Obs.Flight.set_max_dumps 64;
+        Obs.Flight.disarm ()) ]
+
 (* ----- Telemetry epochs ----- *)
 
 let telemetry_epoch_tests =
@@ -331,23 +587,6 @@ let telemetry_epoch_tests =
 
 (* ----- Log ----- *)
 
-let with_log_capture level f =
-  let path = Filename.temp_file "sram_opt_log" ".txt" in
-  let oc = open_out path in
-  let saved = Obs.Log.level () in
-  Obs.Log.set_channel oc;
-  Obs.Log.set_level level;
-  f ();
-  Obs.Log.set_level saved;
-  Obs.Log.set_channel stderr;
-  close_out oc;
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  Sys.remove path;
-  text
-
 let log_tests =
   [ case "of_string parses every level" (fun () ->
         List.iter
@@ -380,7 +619,18 @@ let log_tests =
         Alcotest.(check bool) "level tag" true
           (contains ~needle:"debug" text);
         Alcotest.(check bool) "section tag" true
-          (contains ~needle:"framework: cache miss" text)) ]
+          (contains ~needle:"framework: cache miss" text));
+    case "lines carry the request trace id while one is set" (fun () ->
+        let text =
+          with_log_capture Obs.Log.Info (fun () ->
+              Obs.Trace.with_context "ctx-log" (fun () ->
+                  Obs.Log.info ~section:"serve" "handling");
+              Obs.Log.info ~section:"serve" "idle")
+        in
+        Alcotest.(check bool) "tagged inside the context" true
+          (contains ~needle:"handling [trace_id=ctx-log]" text);
+        Alcotest.(check bool) "untagged outside" false
+          (contains ~needle:"idle [trace_id" text)) ]
 
 (* ----- Progress ----- *)
 
@@ -452,7 +702,10 @@ let () =
     [ ("clock", clock_tests);
       ("histogram", histogram_tests);
       ("histogram_properties", histogram_property_tests);
+      ("window", window_tests);
       ("trace", trace_tests);
+      ("context", context_tests);
+      ("flight", flight_tests);
       ("telemetry_epoch", telemetry_epoch_tests);
       ("log", log_tests);
       ("progress", progress_tests);

@@ -164,20 +164,28 @@ let query_gen =
     { P.capacity_bits; flavor; method_; objective; accounting; w;
       space = { P.vssc; nr; n_pre; n_wr } }
 
+let trace_id_gen =
+  let open QCheck.Gen in
+  oneof
+    [ return None;
+      map Option.some (string_size ~gen:printable (int_bound 24)) ]
+
 let request_gen =
   let open QCheck.Gen in
   let* id = int_range 0 max_int in
   let* deadline_ms = oneof [ return None; map Option.some (float_range 0.0 1e6) ] in
+  let* trace_id = trace_id_gen in
   let* endpoint =
     oneof
-      [ return P.Ping; return P.Stats; return P.Shutdown;
+      [ return P.Ping; return P.Stats; return P.Metrics; return P.Shutdown;
         map (fun q -> P.Optimize q) query_gen ]
   in
-  return { P.id; deadline_ms; endpoint }
+  return { P.id; deadline_ms; trace_id; endpoint }
 
 let response_gen =
   let open QCheck.Gen in
   let* rid = int_range 0 max_int in
+  let* rtrace_id = trace_id_gen in
   let* body =
     oneof
       [ map (fun s -> Ok (J.String s)) (string_size ~gen:printable (int_bound 16));
@@ -190,7 +198,7 @@ let response_gen =
          return (Error (code, msg)))
       ]
   in
-  return { P.rid; body }
+  return { P.rid; rtrace_id; body }
 
 (* Structural equality through the JSON tree, floats compared by bits. *)
 let rec json_eq a b =
@@ -247,7 +255,7 @@ let protocol_tests =
 
 (* ----- end-to-end, against a forked server ----- *)
 
-let with_server f =
+let with_server ?(configure = fun c -> c) f =
   Runtime.Pool.set_default_jobs 1;
   let path = fresh_sock () in
   flush stdout;
@@ -256,9 +264,10 @@ let with_server f =
   | 0 ->
     Runtime.Memo.reset_all ();
     let cfg =
-      { Serve.Server.default_config with
-        Serve.Server.socket_path = Some path;
-        install_signals = false }
+      configure
+        { Serve.Server.default_config with
+          Serve.Server.socket_path = Some path;
+          install_signals = false }
     in
     (try ignore (Serve.Server.run cfg) with _ -> ());
     Unix._exit 0
@@ -350,7 +359,8 @@ let server_tests =
             F.write fd
               (J.to_string
                  (P.request_to_json
-                    { P.id = 2; deadline_ms = None; endpoint = P.Ping }));
+                    { P.id = 2; deadline_ms = None; trace_id = None;
+                      endpoint = P.Ping }));
             (match F.read fd with
             | Ok _ -> ()
             | Error e ->
@@ -372,7 +382,7 @@ let server_tests =
                  F.write fd
                    (J.to_string
                       (P.request_to_json
-                         { P.id = 1; deadline_ms = None;
+                         { P.id = 1; deadline_ms = None; trace_id = None;
                            endpoint = P.Optimize reduced_query }))
                with _ -> ());
               Unix._exit 0
@@ -449,9 +459,197 @@ let server_tests =
           Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path))
   ]
 
+(* ----- observability: trace ids, metrics, flight dumps ----- *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let check_has what needle text =
+  Alcotest.(check bool) what true (contains ~needle text)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text
+
+(* Structural check of the text exposition (format 0.0.4): every
+   non-empty line is either a # comment or `name[{labels}] value` with
+   a parseable value and a well-formed metric name. *)
+let check_exposition_format text =
+  List.iteri
+    (fun i line ->
+      if line <> "" && not (String.starts_with ~prefix:"#" line) then begin
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "metrics line %d has no value: %S" i line
+        | Some sp ->
+          let name = String.sub line 0 sp in
+          let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+          (match float_of_string_opt value with
+          | Some _ -> ()
+          | None ->
+            if value <> "+Inf" && value <> "-Inf" && value <> "NaN" then
+              Alcotest.failf "metrics line %d value %S does not parse" i value);
+          (match name.[0] with
+          | 'a' .. 'z' | 'A' .. 'Z' | '_' -> ()
+          | c -> Alcotest.failf "metrics line %d name starts with %c" i c)
+      end)
+    (String.split_on_char '\n' text)
+
+let observability_tests =
+  [ case "responses echo the client trace id or carry a generated one"
+      (fun () ->
+        with_server (fun _path c ->
+            (match Serve.Client.call ~trace_id:"my-trace-1" c P.Ping with
+            | Ok r ->
+              Alcotest.(check (option string)) "client id echoed"
+                (Some "my-trace-1") r.P.rtrace_id
+            | Error e -> Alcotest.failf "ping: %s" e);
+            match Serve.Client.call c P.Ping with
+            | Ok r -> (
+              match r.P.rtrace_id with
+              | Some id ->
+                Alcotest.(check bool) "generated id non-empty" true
+                  (String.length id > 0)
+              | None -> Alcotest.fail "expected a server-generated trace id")
+            | Error e -> Alcotest.failf "ping: %s" e));
+    case "observability off: ids echoed when supplied, never invented"
+      (fun () ->
+        with_server
+          ~configure:(fun cfg ->
+            { cfg with Serve.Server.observability = false })
+          (fun _path c ->
+            (match Serve.Client.call ~trace_id:"still-echoed" c P.Ping with
+            | Ok r ->
+              Alcotest.(check (option string)) "echoed" (Some "still-echoed")
+                r.P.rtrace_id
+            | Error e -> Alcotest.failf "ping: %s" e);
+            match Serve.Client.call c P.Ping with
+            | Ok r ->
+              Alcotest.(check (option string)) "no invented id" None
+                r.P.rtrace_id
+            | Error e -> Alcotest.failf "ping: %s" e));
+    case "metrics endpoint serves parseable Prometheus exposition"
+      (fun () ->
+        with_server (fun _path c ->
+            ignore (get (Serve.Client.optimize c reduced_query));
+            let text = get (Serve.Client.metrics c) in
+            check_has "requests counter typed"
+              "# TYPE sram_opt_serve_requests_total counter" text;
+            check_has "requests counter present"
+              "sram_opt_serve_requests_total " text;
+            check_has "windowed e2e p99"
+              "sram_opt_serve_e2e_seconds_window{window=\"10s\",quantile=\"0.99\"}"
+              text;
+            check_has "cumulative e2e summary"
+              "sram_opt_serve_e2e_seconds{quantile=\"0.5\"}" text;
+            check_has "SLO counters windowed"
+              "sram_opt_serve_events_window{event=\"serve_deadline_expired\",window=\"60s\"}"
+              text;
+            check_has "memo hit rate" "sram_opt_memo_hit_rate" text;
+            check_has "gc words" "sram_opt_gc_major_words_total" text;
+            check_has "build info" "sram_opt_build_info" text;
+            check_exposition_format text));
+    case "GET /metrics HTTP shim answers a plain scrape on the same listener"
+      (fun () ->
+        with_server (fun path c ->
+            ignore (get (Serve.Client.ping c));
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX path);
+            let req = "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n" in
+            ignore (Unix.write_substring fd req 0 (String.length req));
+            let buf = Buffer.create 4096 in
+            let b = Bytes.create 4096 in
+            let rec drain () =
+              match Unix.read fd b 0 4096 with
+              | 0 -> ()
+              | n ->
+                Buffer.add_subbytes buf b 0 n;
+                drain ()
+              | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+                -> ()
+            in
+            drain ();
+            Unix.close fd;
+            let text = Buffer.contents buf in
+            Alcotest.(check bool) "HTTP 200" true
+              (String.starts_with ~prefix:"HTTP/1.1 200 OK\r\n" text);
+            check_has "exposition content type"
+              "Content-Type: text/plain; version=0.0.4" text;
+            check_has "serve counters over HTTP"
+              "sram_opt_serve_requests_total" text;
+            (* The frame protocol still works after an HTTP exchange. *)
+            ignore (get (Serve.Client.ping c))));
+    case "stats exposes windowed views alongside cumulative" (fun () ->
+        with_server (fun _path c ->
+            ignore (get (Serve.Client.optimize c reduced_query));
+            let stats = get (Serve.Client.stats c) in
+            let windows =
+              match J.member "windows" stats with
+              | Some w -> w
+              | None -> Alcotest.fail "no windows section in stats"
+            in
+            (match J.member "histograms" windows with
+            | Some (J.List rows) ->
+              Alcotest.(check bool) "serve.e2e windowed" true
+                (List.exists
+                   (fun r -> J.string_field r "name" = Some "serve.e2e")
+                   rows);
+              List.iter
+                (fun r ->
+                  match J.member "windows" r with
+                  | Some (J.List (_ :: _)) -> ()
+                  | _ -> Alcotest.fail "histogram row without window slices")
+                rows
+            | _ -> Alcotest.fail "windows.histograms missing");
+            match J.member "counters" windows with
+            | Some (J.List rows) ->
+              Alcotest.(check bool) "deadline SLO counter windowed" true
+                (List.exists
+                   (fun r ->
+                     J.string_field r "name" = Some "serve.deadline_expired")
+                   rows)
+            | _ -> Alcotest.fail "windows.counters missing"));
+    case "deadline-cancelled request leaves a flight dump with its trace id"
+      (fun () ->
+        let dir = Filename.concat tmp_root "flight_deadline" in
+        with_server
+          ~configure:(fun cfg ->
+            { cfg with Serve.Server.flight_dir = Some dir })
+          (fun _path c ->
+            let big =
+              { P.default_query with P.capacity_bits = 16 * 1024 * 8 }
+            in
+            (match
+               Serve.Client.call ~deadline_ms:1.0 ~trace_id:"dl-trace-7" c
+                 (P.Optimize big)
+             with
+            | Ok { P.body = Error (P.Deadline, _); rtrace_id; _ } ->
+              Alcotest.(check (option string)) "deadline response echoes id"
+                (Some "dl-trace-7") rtrace_id
+            | Ok _ -> Alcotest.fail "expected a deadline error"
+            | Error e -> Alcotest.failf "call: %s" e);
+            (* The dump is written before the loop takes the next
+               request, so a served ping means it is on disk. *)
+            ignore (get (Serve.Client.ping c));
+            let dumps =
+              Sys.readdir dir |> Array.to_list
+              |> List.filter (String.starts_with ~prefix:"flight-")
+            in
+            Alcotest.(check bool) "a flight dump exists" true (dumps <> []);
+            let text = read_file (Filename.concat dir (List.hd dumps)) in
+            check_has "chrome trace shape" "\"traceEvents\"" text;
+            check_has "request attributed" "dl-trace-7" text;
+            match Persist.Json.of_string text with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "dump is not valid JSON: %s" e)) ]
+
 let () =
   Alcotest.run "serve"
     [ ("frame", frame_tests);
       ("protocol", protocol_tests);
-      ("server", server_tests)
+      ("server", server_tests);
+      ("observability", observability_tests)
     ]

@@ -81,7 +81,71 @@ let datasheet_text () =
   in
   Datasheet.to_string (Datasheet.build pick)
 
+(* ----- stats endpoint schema ----- *)
+
+(* The `stats` payload carries timings, so its VALUES are not golden —
+   its SHAPE is.  Every scalar is collapsed to its type name and every
+   list to its first element, giving a schema tree that is bit-stable
+   while pinning the key set and nesting documented in DESIGN.md §7:
+   a golden diff here means a client-visible schema change. *)
+let rec schema_of = function
+  | Json_out.Null -> Json_out.String "null"
+  | Json_out.Bool _ -> Json_out.String "bool"
+  | Json_out.Int _ -> Json_out.String "int"
+  | Json_out.Float _ -> Json_out.String "float"
+  | Json_out.String _ -> Json_out.String "string"
+  | Json_out.List [] -> Json_out.List []
+  | Json_out.List (x :: _) -> Json_out.List [ schema_of x ]
+  | Json_out.Obj fields ->
+    Json_out.Obj (List.map (fun (k, v) -> (k, schema_of v)) fields)
+
+(* Synthesize the full serving state a live daemon would have —
+   windowed request histograms, SLO counters, serve.* telemetry — so
+   the schema covers every optional section ("windows", "server"), then
+   reset so the synthetic state cannot leak into other goldens. *)
+let stats_schema () =
+  ignore (Lazy.force designs);  (* memo caches registered and warm *)
+  Runtime.Telemetry.reset ();
+  Obs.Histogram.reset_all ();
+  Obs.Window.reset_all ();
+  let slo =
+    [ "serve.requests"; "serve.responses"; "serve.errors";
+      "serve.deadline_expired"; "serve.rejected_busy"; "serve.bad_request";
+      "serve.bad_frame" ]
+  in
+  List.iteri
+    (fun i name -> Runtime.Telemetry.add (Runtime.Telemetry.counter name) i)
+    slo;
+  List.iter
+    (fun name ->
+      let counter = Runtime.Telemetry.counter name in
+      Obs.Window.track name (fun () -> Runtime.Telemetry.value counter))
+    slo;
+  List.iter
+    (fun name ->
+      let h = Obs.Histogram.create name in
+      List.iter (Obs.Histogram.observe h) [ 1e-5; 2e-4; 3e-3 ];
+      ignore (Obs.Window.create h))
+    [ "serve.queue_wait"; "serve.handle.optimize"; "serve.e2e" ];
+  Obs.Window.rotate_all ();
+  let text =
+    Json_out.to_string_pretty (schema_of (Json_out.runtime_stats_json ()))
+    ^ "\n"
+  in
+  Runtime.Telemetry.reset ();
+  Obs.Histogram.reset_all ();
+  Obs.Window.reset_all ();
+  text
+
 let files () =
-  [ ("table4.json", table4_json ());
-    ("report.txt", report_text ());
-    ("datasheet.txt", datasheet_text ()) ]
+  (* Sequenced lets: [stats_schema] mutates (then resets) global
+     telemetry state, so it must not interleave with the sweep-backed
+     generators. *)
+  let table4 = table4_json () in
+  let report = report_text () in
+  let datasheet = datasheet_text () in
+  let stats = stats_schema () in
+  [ ("table4.json", table4);
+    ("report.txt", report);
+    ("datasheet.txt", datasheet);
+    ("stats.json", stats) ]

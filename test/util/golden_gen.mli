@@ -15,5 +15,11 @@ val report_text : unit -> string
 val datasheet_text : unit -> string
 (** Datasheet of the 1KB 6T-HVT-M2 design point. *)
 
+val stats_schema : unit -> string
+(** The `stats` endpoint payload reduced to its schema shape (scalars
+    become type names, lists collapse to their first element) over a
+    synthesized full serving state — pins the key set and nesting of
+    DESIGN.md §7 without golding non-deterministic timings. *)
+
 val files : unit -> (string * string) list
 (** [(basename, content)] for every golden file. *)
