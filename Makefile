@@ -8,13 +8,15 @@
 #                      against the committed BENCH_kernel.json via --smoke
 #   make bench-smoke   staged-kernel benchmark, reduced space, no JSON
 #   make bench-obs     observability overhead benchmark (writes BENCH_obs.json)
+#   make bench-explain search-journal overhead + bit-identity gate; embeds the
+#                      convergence journal (writes BENCH_explain.json)
 #   make bench-persist checkpoint/resume bit-identity benchmark (BENCH_persist.json)
 #   make bench-serve   daemon load-generator benchmark (writes BENCH_serve.json)
 #   make smoke-serve-metrics  end-to-end Prometheus scrape of a live daemon
 #   make regen-golden  deliberately rewrite test/golden/* (review the diff!)
 
 .PHONY: all check check-tests test bench bench-kernel bench-kernel-opt \
-        bench-smoke bench-obs bench-persist bench-serve \
+        bench-smoke bench-obs bench-explain bench-persist bench-serve \
         smoke-serve-metrics regen-golden clean
 
 all:
@@ -26,6 +28,7 @@ check: check-tests
 	dune exec bench/main.exe -- headline --smoke
 	dune exec bench/main.exe -- kernel --smoke
 	dune exec bench/main.exe -- obs --smoke
+	dune exec bench/main.exe -- explain --smoke
 	dune exec bench/main.exe -- persist --smoke
 	dune exec bench/main.exe -- serve --smoke
 	$(MAKE) smoke-serve-metrics
@@ -64,6 +67,9 @@ bench-smoke:
 
 bench-obs:
 	dune exec bench/main.exe -- obs
+
+bench-explain:
+	dune exec bench/main.exe -- explain
 
 bench-persist:
 	dune exec bench/main.exe -- persist

@@ -81,7 +81,8 @@ let ablation_anneal () =
   let table =
     Sram_edp.Report.create
       ~columns:
-        [ "capacity"; "exhaustive"; "anneal (gap)"; "local search (gap)" ]
+        [ "capacity"; "exhaustive"; "anneal (gap)"; "local search (gap)";
+          "considered (exh/ann/ls)" ]
   in
   List.iter
     (fun capacity_bits ->
@@ -97,7 +98,10 @@ let ablation_anneal () =
         [ Sram_edp.Units.capacity capacity_bits;
           Printf.sprintf "%d evals" exact.Opt.Exhaustive.evaluated;
           describe annealed;
-          describe local ])
+          describe local;
+          Printf.sprintf "%d / %d / %d" exact.Opt.Exhaustive.considered
+            annealed.Opt.Exhaustive.considered
+            local.Opt.Exhaustive.considered ])
     Sram_edp.Framework.paper_capacities;
   Sram_edp.Report.print table
 
@@ -1330,6 +1334,191 @@ let obs_bench () =
   end;
   if not (pass && bit_identical) then exit 1
 
+(* ----- explain / search-journal benchmark ----- *)
+
+(* Two gates for the introspection layer behind `sram_opt explain` and
+   `--search-log`:
+     1. Is the search journal observation-only?  Winners must be
+        bit-identical with the journal armed and disarmed at 1/2/4
+        jobs — the journal may watch the search, never steer it.
+     2. Is it cheap?  (< 3% wall time on the staged sweep with the
+        journal armed, same min-of-paired-trials methodology as
+        [obs_bench].)
+   BENCH_explain.json embeds the convergence journal of a fresh sweep
+   plus the bound-gap histogram, so CI archives a convergence curve
+   alongside the gate results. *)
+let explain_bench () =
+  section "Explain: search journal overhead and bit-identity";
+  let capacities =
+    if !smoke then [ 1024 * 8 ] else Sram_edp.Framework.paper_capacities
+  in
+  let configs = Sram_edp.Framework.all_configs in
+  let env_of =
+    let lvt = Array_model.Array_eval.make_env ~cell_flavor:Finfet.Library.Lvt () in
+    let hvt = Array_model.Array_eval.make_env ~cell_flavor:Finfet.Library.Hvt () in
+    function Finfet.Library.Lvt -> lvt | Finfet.Library.Hvt -> hvt
+  in
+  let levels_of =
+    let lvt = Opt.Yield.solve ~flavor:Finfet.Library.Lvt () in
+    let hvt = Opt.Yield.solve ~flavor:Finfet.Library.Hvt () in
+    function Finfet.Library.Lvt -> lvt | Finfet.Library.Hvt -> hvt
+  in
+  let sweep ~space ~pool () =
+    List.concat_map
+      (fun capacity_bits ->
+        List.map
+          (fun (c : Sram_edp.Framework.config) ->
+            Opt.Exhaustive.search ~space ~kernel:`Staged ~pool
+              ~levels:(levels_of c.Sram_edp.Framework.flavor)
+              ~env:(env_of c.Sram_edp.Framework.flavor) ~capacity_bits
+              ~method_:c.Sram_edp.Framework.method_ ())
+          configs)
+      capacities
+  in
+  let with_journal armed f =
+    if armed then Obs.Search.arm () else Obs.Search.disarm ();
+    let r = f () in
+    Obs.Search.disarm ();
+    r
+  in
+  (* Bit-identity: the journal must not perturb the chosen designs.
+     The reduced space is enough to exercise every hook, so smoke runs
+     stay quick here. *)
+  let bit_space = if !smoke then Opt.Space.reduced else Opt.Space.default in
+  let sums =
+    List.map
+      (fun jobs ->
+        let pool = Runtime.Pool.create ~jobs () in
+        let off = with_journal false (sweep ~space:bit_space ~pool) in
+        let on = with_journal true (sweep ~space:bit_space ~pool) in
+        Runtime.Pool.shutdown pool;
+        (jobs, checksum_designs off, checksum_designs on))
+      [ 1; 2; 4 ]
+  in
+  let bit_identical =
+    match sums with
+    | [] -> true
+    | (_, first, _) :: _ ->
+      List.for_all
+        (fun (_, off, on) -> String.equal off on && String.equal off first)
+        sums
+  in
+  let table =
+    Sram_edp.Report.create
+      ~columns:[ "jobs"; "journal off"; "journal on"; "identical" ]
+  in
+  List.iter
+    (fun (jobs, off, on) ->
+      Sram_edp.Report.add_row table
+        [ string_of_int jobs; off; on;
+          (if String.equal off on then "yes" else "NO") ])
+    sums;
+  Sram_edp.Report.print table;
+  (* Overhead: armed vs disarmed back to back in each trial, alternating
+     order; min over trials (noise is additive, see obs_bench).
+     Always the paper's full design space: journal cost scales with
+     incumbent improvements (dozens per search regardless of space
+     size), so a microscopic sweep would measure a fixed cost against a
+     vanishing baseline and the percentage would be meaningless. *)
+  let trials = 9 in
+  let reps = if !smoke then 25 else 3 in
+  let pool = Runtime.Pool.create ~jobs:1 () in
+  let osweep = sweep ~space:Opt.Space.default ~pool in
+  ignore (osweep ());
+  let time_mode armed =
+    let t0 = Runtime.Telemetry.now () in
+    with_journal armed (fun () ->
+        for _ = 1 to reps do
+          ignore (osweep ())
+        done);
+    Runtime.Telemetry.now () -. t0
+  in
+  let minimum l = List.fold_left min infinity l in
+  let measure () =
+    let off_walls = ref [] and on_walls = ref [] in
+    for i = 1 to trials do
+      let on_first = i land 1 = 0 in
+      let w1 = time_mode on_first in
+      let w2 = time_mode (not on_first) in
+      let off, on = if on_first then (w2, w1) else (w1, w2) in
+      off_walls := off :: !off_walls;
+      on_walls := on :: !on_walls
+    done;
+    let off = minimum !off_walls and on = minimum !on_walls in
+    (off, on, (on /. off) -. 1.0)
+  in
+  let threshold = 0.03 in
+  let wall_off, wall_on, overhead =
+    let ((_, _, ov1) as m1) = measure () in
+    if ov1 < threshold then m1
+    else begin
+      let ((_, _, ov2) as m2) = measure () in
+      if ov2 < ov1 then m2 else m1
+    end
+  in
+  Runtime.Pool.shutdown pool;
+  let pass = overhead < threshold in
+  Printf.printf
+    "search journal overhead (armed vs disarmed, min over %d paired %d-rep \
+     trials): %.3f s vs %.3f s = %+.2f%% (budget %.0f%%) -> %s\n"
+    trials reps wall_on wall_off (100.0 *. overhead) (100.0 *. threshold)
+    (if pass then "pass" else "FAIL");
+  Printf.printf "winners identical with journal on and off at 1/2/4 jobs: %s\n"
+    (if bit_identical then "yes" else "NO");
+  (* One fresh journaled sweep with stats on, so the embedded journal
+     carries the convergence curve and the bound-gap histogram fills. *)
+  let pool = Runtime.Pool.create ~jobs:1 () in
+  Obs.Search.arm ();
+  Obs.Control.set_enabled true;
+  ignore (sweep ~space:Opt.Space.default ~pool ());
+  Obs.Control.set_enabled false;
+  let journal = Sram_edp.Json_out.search_journal_json () in
+  let s = Obs.Search.summary () in
+  Obs.Search.disarm ();
+  Runtime.Pool.shutdown pool;
+  Printf.printf
+    "convergence journal: %d incumbents, %d prunes, %d events stored\n"
+    s.Obs.Search.incumbents s.Obs.Search.prunes s.Obs.Search.journaled;
+  let json =
+    Sram_edp.Json_out.Obj
+      [ ("benchmark", Sram_edp.Json_out.String "explain-search-journal");
+        ("git_commit", Sram_edp.Json_out.String (git_commit ()));
+        ("host_cores", Sram_edp.Json_out.Int (Domain.recommended_domain_count ()));
+        ("smoke", Sram_edp.Json_out.Bool !smoke);
+        ("capacities_bits",
+         Sram_edp.Json_out.List
+           (List.map (fun c -> Sram_edp.Json_out.Int c) capacities));
+        ("bit_identical", Sram_edp.Json_out.Bool bit_identical);
+        ("overhead",
+         Sram_edp.Json_out.Obj
+           [ ("wall_off_s", Sram_edp.Json_out.Float wall_off);
+             ("wall_on_s", Sram_edp.Json_out.Float wall_on);
+             ("overhead", Sram_edp.Json_out.Float overhead);
+             ("threshold", Sram_edp.Json_out.Float threshold);
+             ("trials", Sram_edp.Json_out.Int trials);
+             ("reps", Sram_edp.Json_out.Int reps);
+             ("pass", Sram_edp.Json_out.Bool pass) ]);
+        ("search_journal", journal);
+        ("histograms", Sram_edp.Json_out.histograms_json ());
+        ("runs",
+         Sram_edp.Json_out.List
+           (List.map
+              (fun (jobs, off, on) ->
+                Sram_edp.Json_out.Obj
+                  [ ("jobs", Sram_edp.Json_out.Int jobs);
+                    ("checksum_off", Sram_edp.Json_out.String off);
+                    ("checksum_on", Sram_edp.Json_out.String on) ])
+              sums)) ]
+  in
+  if not !smoke then begin
+    let oc = open_out "BENCH_explain.json" in
+    output_string oc (Sram_edp.Json_out.to_string_pretty json);
+    output_char oc '\n';
+    close_out oc;
+    print_endline "wrote BENCH_explain.json"
+  end;
+  if not (pass && bit_identical) then exit 1
+
 (* ----- persistence benchmark ----- *)
 
 (* Two questions the persistence layer must answer for:
@@ -2012,6 +2201,7 @@ let run_one = function
   | "runtime" -> runtime_bench ()
   | "kernel" -> kernel_bench ()
   | "obs" -> obs_bench ()
+  | "explain" -> explain_bench ()
   | "persist" -> persist_bench ()
   | "serve" -> serve_bench ()
   | "all" ->
@@ -2021,7 +2211,7 @@ let run_one = function
   | other ->
     Printf.eprintf
       "unknown experiment %S (try fig2a..fig7d, table4, headline, ablation, \
-       timing, runtime, kernel, obs, persist, serve, all)\n"
+       timing, runtime, kernel, obs, explain, persist, serve, all)\n"
       other;
     exit 1
 

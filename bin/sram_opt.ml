@@ -130,6 +130,14 @@ let trace_arg =
                  per worker domain) and write it to $(docv).  Load the file \
                  in Perfetto (ui.perfetto.dev) or chrome://tracing.")
 
+let search_log_arg =
+  Arg.(value & opt (some string) None
+       & info [ "search-log" ] ~docv:"FILE"
+           ~doc:"Record the search's convergence journal (incumbent \
+                 updates, chunk completions, sampled prune decisions) and \
+                 write it to $(docv) as JSON.  Observation only: winners \
+                 are bit-identical with or without the journal.")
+
 let progress_arg =
   Arg.(value & flag
        & info [ "progress" ]
@@ -208,7 +216,7 @@ let install_interrupt () =
    the default pool up, so --jobs needs no further plumbing; likewise the
    instrumentation sites read process-global [Obs] state. *)
 let with_runtime ?(trace = None) ?(progress = false) ?(log_level = None)
-    ?persist ~jobs ~stats f =
+    ?(search_log = None) ?persist ~jobs ~stats f =
   (match log_level with
    | None -> ()
    | Some s ->
@@ -221,6 +229,9 @@ let with_runtime ?(trace = None) ?(progress = false) ?(log_level = None)
   Obs.Control.set_worker_name "main";
   Runtime.Pool.set_default_jobs jobs;
   if stats || trace <> None then Obs.Control.set_enabled true;
+  (* The journal is observation-only: arming it cannot change which
+     design a search returns (hooks read state, never write it). *)
+  if stats || search_log <> None then Obs.Search.arm ();
   if trace <> None then Obs.Trace.start ();
   if progress then Obs.Progress.start ();
   Persist.Faults.load_env ();
@@ -255,6 +266,17 @@ let with_runtime ?(trace = None) ?(progress = false) ?(log_level = None)
     restore_signals ();
     if progress then Obs.Progress.stop ();
     close_persist ();
+    (match search_log with
+     | None -> ()
+     | Some path ->
+       let json = Sram_edp.Json_out.search_journal_json () in
+       let s = Obs.Search.summary () in
+       let oc = open_out path in
+       output_string oc (Sram_edp.Json_out.to_string_pretty json);
+       output_char oc '\n';
+       close_out oc;
+       Printf.eprintf "wrote search journal (%d events) to %s\n%!"
+         s.Obs.Search.journaled path);
     match trace with
     | None -> ()
     | Some path ->
@@ -268,6 +290,7 @@ let with_runtime ?(trace = None) ?(progress = false) ?(log_level = None)
     if stats then begin
       Runtime.Telemetry.print_report ();
       Obs.Histogram.print_report ();
+      Obs.Search.print_report ();
       Runtime.Memo.print_stats ()
     end;
     result
@@ -290,8 +313,9 @@ let with_runtime ?(trace = None) ?(progress = false) ?(log_level = None)
 
 let optimize_cmd =
   let run capacity flavor method_ accounting json jobs stats trace progress
-      log_level persist =
-    with_runtime ~trace ~progress ~log_level ~persist ~jobs ~stats @@ fun () ->
+      log_level search_log persist =
+    with_runtime ~trace ~progress ~log_level ~search_log ~persist ~jobs ~stats
+    @@ fun () ->
     let o =
       Sram_edp.Framework.optimize ~accounting ~capacity_bits:capacity
         ~config:{ Sram_edp.Framework.flavor; method_ } ()
@@ -325,11 +349,12 @@ let optimize_cmd =
   Cmd.v (Cmd.info "optimize" ~doc:"Co-optimize one SRAM array for minimum EDP")
     Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ accounting_arg
           $ json_flag $ jobs_arg $ stats_arg $ trace_arg $ progress_arg
-          $ log_level_arg $ persist_term)
+          $ log_level_arg $ search_log_arg $ persist_term)
 
 let sweep_cmd =
-  let run json jobs stats trace progress log_level persist =
-    with_runtime ~trace ~progress ~log_level ~persist ~jobs ~stats @@ fun () ->
+  let run json jobs stats trace progress log_level search_log persist =
+    with_runtime ~trace ~progress ~log_level ~search_log ~persist ~jobs ~stats
+    @@ fun () ->
     if json then begin
       (* Evaluate the sweep before snapshotting the telemetry: list and
          [@] operands evaluate right-to-left in OCaml. *)
@@ -355,7 +380,7 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Regenerate Table 4 and Figure 7 across capacities")
     Term.(const run $ json_flag $ jobs_arg $ stats_arg $ trace_arg
-          $ progress_arg $ log_level_arg $ persist_term)
+          $ progress_arg $ log_level_arg $ search_log_arg $ persist_term)
 
 let experiments_cmd =
   let run jobs stats trace progress log_level persist =
@@ -445,9 +470,10 @@ let assist_cmd =
     Term.(const run $ technique_arg)
 
 let anneal_cmd =
-  let run capacity flavor method_ seed jobs stats trace progress log_level
-      persist =
-    with_runtime ~trace ~progress ~log_level ~persist ~jobs ~stats @@ fun () ->
+  let run capacity flavor method_ seed json jobs stats trace progress
+      log_level search_log persist =
+    with_runtime ~trace ~progress ~log_level ~search_log ~persist ~jobs ~stats
+    @@ fun () ->
     let env = Array_model.Array_eval.make_env ~cell_flavor:flavor () in
     let exhaustive =
       Opt.Exhaustive.search ~env ~capacity_bits:capacity ~method_ ()
@@ -456,17 +482,208 @@ let anneal_cmd =
       Opt.Anneal.search ~seed ~env ~capacity_bits:capacity ~method_ ()
     in
     let score (r : Opt.Exhaustive.result) = r.Opt.Exhaustive.best.Opt.Exhaustive.score in
-    Printf.printf "exhaustive: EDP=%.4g Js in %d evaluations\n"
-      (score exhaustive) exhaustive.Opt.Exhaustive.evaluated;
-    Printf.printf "annealed  : EDP=%.4g Js in %d evaluations (gap %+.2f%%)\n"
-      (score annealed) annealed.Opt.Exhaustive.evaluated
-      (100.0 *. ((score annealed /. score exhaustive) -. 1.0))
+    let gap = 100.0 *. ((score annealed /. score exhaustive) -. 1.0) in
+    if json then
+      (* result_to_json carries [considered]; for a heuristic search
+         that equals [evaluated] (it decides exactly what it tries). *)
+      print_endline
+        (Persist.Json.to_string
+           (Persist.Json.Obj
+              [ ("seed", Persist.Json.Int seed);
+                ("gap_pct", Persist.Json.Float gap);
+                ("exhaustive", Opt.Exhaustive.result_to_json exhaustive);
+                ("annealed", Opt.Exhaustive.result_to_json annealed) ]))
+    else begin
+      Printf.printf "exhaustive: EDP=%.4g Js in %d evaluations\n"
+        (score exhaustive) exhaustive.Opt.Exhaustive.evaluated;
+      Printf.printf "annealed  : EDP=%.4g Js in %d evaluations (gap %+.2f%%)\n"
+        (score annealed) annealed.Opt.Exhaustive.evaluated gap
+    end
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Annealing RNG seed.") in
   Cmd.v (Cmd.info "anneal" ~doc:"Compare simulated annealing against exhaustive search")
-    Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ seed $ jobs_arg
-          $ stats_arg $ trace_arg $ progress_arg $ log_level_arg
-          $ persist_term)
+    Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ seed $ json_flag
+          $ jobs_arg $ stats_arg $ trace_arg $ progress_arg $ log_level_arg
+          $ search_log_arg $ persist_term)
+
+let explain_cmd =
+  let run capacity flavor method_ accounting no_pareto json jobs stats trace
+      progress log_level search_log persist =
+    with_runtime ~trace ~progress ~log_level ~search_log ~persist ~jobs ~stats
+    @@ fun () ->
+    let o =
+      Sram_edp.Framework.optimize ~accounting ~capacity_bits:capacity
+        ~config:{ Sram_edp.Framework.flavor; method_ } ()
+    in
+    let result = o.Sram_edp.Framework.result in
+    let winner = result.Opt.Exhaustive.best in
+    (* The memoized env for (flavor, accounting) is the one the search
+       priced against, so every number below is the search's own. *)
+    let env =
+      Array_model.Array_eval.ctx_env
+        (Sram_edp.Framework.stage_ctx_for ~flavor ~accounting)
+    in
+    let at =
+      Array_model.Array_eval.attribute env winner.Opt.Exhaustive.geometry
+        winner.Opt.Exhaustive.assist
+    in
+    let bits_eq x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y) in
+    if not (Array_model.Array_eval.attribution_consistent at) then begin
+      Printf.eprintf
+        "sram_opt explain: attribution terms do not refold to evaluate's \
+         totals bit-for-bit — refusing to print a breakdown that lies\n";
+      exit 1
+    end;
+    if
+      not
+        (bits_eq at.Array_model.Array_eval.at_metrics.Array_model.Array_eval.edp
+           winner.Opt.Exhaustive.metrics.Array_model.Array_eval.edp)
+    then begin
+      Printf.eprintf
+        "sram_opt explain: fresh evaluate disagrees with the search's \
+         staged kernel for the winner — kernel identity broken\n";
+      exit 1
+    end;
+    let sens =
+      Opt.Explain.sensitivity ~env ~pins:result.Opt.Exhaustive.pins ~winner ()
+    in
+    let pareto =
+      if no_pareto then None
+      else
+        Some
+          (Opt.Explain.pareto ~levels:result.Opt.Exhaustive.levels ~env
+             ~capacity_bits:capacity ~method_ ())
+    in
+    if json then begin
+      let fields =
+        [ ("capacity_bits", Sram_edp.Json_out.Int capacity);
+          ("config",
+           Sram_edp.Json_out.String
+             (Sram_edp.Framework.config_name o.Sram_edp.Framework.config));
+          ("attribution", Sram_edp.Json_out.of_attribution at);
+          ("sensitivity", Sram_edp.Json_out.of_sensitivity sens) ]
+        @
+        match pareto with
+        | None -> []
+        | Some p -> [ ("pareto", Sram_edp.Json_out.of_pareto p) ]
+      in
+      print_endline
+        (Sram_edp.Json_out.to_string_pretty (Sram_edp.Json_out.Obj fields))
+    end
+    else begin
+      let open Sram_edp in
+      let m = at.Array_model.Array_eval.at_metrics in
+      print_optimized o;
+      print_newline ();
+      (* E_total shares: Equation (5) weights applied per component. *)
+      let e_total = m.Array_model.Array_eval.e_total in
+      let energy = Report.create ~columns:[ "component"; "energy"; "share" ] in
+      List.iter
+        (fun (name, e) ->
+          Report.add_row energy
+            [ name; Units.fj e; Units.percent (e /. e_total) ])
+        (Opt.Explain.energy_rollup at);
+      Report.add_separator energy;
+      Report.add_row energy [ "E_total"; Units.fj e_total; Units.percent 1.0 ];
+      Report.print ~title:"Energy attribution (per access)" energy;
+      print_newline ();
+      let delay = Report.create ~columns:[ "path"; "stage"; "delay" ] in
+      let stages path l =
+        List.iter
+          (fun (name, d) -> Report.add_row delay [ path; name; Units.ps d ])
+          l
+      in
+      stages "read/row" at.Array_model.Array_eval.at_read_row;
+      stages "read/col" at.Array_model.Array_eval.at_read_col;
+      stages "read/tail" at.Array_model.Array_eval.at_read_tail;
+      Report.add_separator delay;
+      stages "write/row" at.Array_model.Array_eval.at_write_row;
+      stages "write/col" at.Array_model.Array_eval.at_write_col;
+      stages "write/tail" at.Array_model.Array_eval.at_write_tail;
+      Report.print ~title:"Delay attribution (critical paths)" delay;
+      let refold = Array_model.Array_eval.refold in
+      Printf.printf
+        "  read : max(row %s, col %s) + tail -> %s\n"
+        (Units.ps (refold at.Array_model.Array_eval.at_read_row))
+        (Units.ps (refold at.Array_model.Array_eval.at_read_col))
+        (Units.ps m.Array_model.Array_eval.d_read);
+      Printf.printf
+        "  write: max(row %s, col %s) + tail -> %s\n"
+        (Units.ps (refold at.Array_model.Array_eval.at_write_row))
+        (Units.ps (refold at.Array_model.Array_eval.at_write_col))
+        (Units.ps m.Array_model.Array_eval.d_write);
+      Printf.printf "  cycle: max(read, write) = %s\n"
+        (Units.ps m.Array_model.Array_eval.d_array);
+      print_newline ();
+      let fmt_neighbor = function
+        | None -> "-"
+        | Some n ->
+          Printf.sprintf "%+.2f%% @ %.3g"
+            (100.0 *. n.Opt.Explain.nb_delta)
+            n.Opt.Explain.nb_value
+      in
+      let sensitivity =
+        Report.create ~columns:[ "axis"; "value"; "one step down"; "one step up" ]
+      in
+      List.iter
+        (fun (ax : Opt.Explain.axis) ->
+          Report.add_row sensitivity
+            [ ax.Opt.Explain.ax_name;
+              Printf.sprintf "%.3g" ax.Opt.Explain.ax_value;
+              fmt_neighbor ax.Opt.Explain.ax_minus;
+              fmt_neighbor ax.Opt.Explain.ax_plus ])
+        sens;
+      Report.print
+        ~title:"Objective sensitivity (finite differences on the search grid)"
+        sensitivity;
+      match pareto with
+      | None -> ()
+      | Some p ->
+        print_newline ();
+        let front = Report.create
+            ~columns:[ "organization"; "N_pre"; "N_wr"; "V_SSC"; "delay";
+                       "energy"; "EDP"; "" ]
+        in
+        let is_knee c =
+          match p.Opt.Explain.pv_knee with
+          | Some k -> k.Opt.Exhaustive.score = c.Opt.Exhaustive.score
+          | None -> false
+        in
+        List.iter
+          (fun (c : Opt.Exhaustive.candidate) ->
+            let g = c.Opt.Exhaustive.geometry in
+            let cm = c.Opt.Exhaustive.metrics in
+            Report.add_row front
+              [ Printf.sprintf "%dx%d" g.Array_model.Geometry.nr
+                  g.Array_model.Geometry.nc;
+                string_of_int g.Array_model.Geometry.n_pre;
+                string_of_int g.Array_model.Geometry.n_wr;
+                Units.mv c.Opt.Exhaustive.assist.Array_model.Components.vssc;
+                Units.ps cm.Array_model.Array_eval.d_array;
+                Units.fj cm.Array_model.Array_eval.e_total;
+                Printf.sprintf "%.4g Js" cm.Array_model.Array_eval.edp;
+                (if is_knee c then "<-- knee" else "") ])
+          p.Opt.Explain.pv_front;
+        Report.print ~title:"Delay-energy Pareto front" front;
+        Printf.printf "  provenance: %s; %d candidates, %d dominated\n"
+          p.Opt.Explain.pv_source p.Opt.Explain.pv_evaluated
+          p.Opt.Explain.pv_dominated
+    end
+  in
+  let no_pareto =
+    Arg.(value & flag
+         & info [ "no-pareto" ]
+             ~doc:"Skip the keep-all re-enumeration that derives the \
+                   delay-energy front (the breakdown and sensitivity \
+                   sections need only a handful of evaluations).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Attribute the winner's EDP to components and stages, with \
+             per-axis sensitivity and Pareto provenance")
+    Term.(const run $ capacity_arg $ flavor_arg $ method_arg $ accounting_arg
+          $ no_pareto $ json_flag $ jobs_arg $ stats_arg $ trace_arg
+          $ progress_arg $ log_level_arg $ search_log_arg $ persist_term)
 
 let bank_cmd =
   let run capacity flavor method_ max_banks jobs stats trace progress
@@ -865,6 +1082,7 @@ let query_cmd =
     let parse s =
       match String.lowercase_ascii s with
       | "optimize" -> Ok `Optimize
+      | "explain" -> Ok `Explain
       | "ping" -> Ok `Ping
       | "stats" -> Ok `Stats
       | "metrics" -> Ok `Metrics
@@ -873,12 +1091,13 @@ let query_cmd =
         Error
           (`Msg
              (Printf.sprintf
-                "bad endpoint %S (optimize|ping|stats|metrics|shutdown)" s))
+                "bad endpoint %S (optimize|explain|ping|stats|metrics|shutdown)"
+                s))
     in
     let print ppf e =
       Format.fprintf ppf "%s"
         (match e with
-         | `Optimize -> "optimize" | `Ping -> "ping"
+         | `Optimize -> "optimize" | `Explain -> "explain" | `Ping -> "ping"
          | `Stats -> "stats" | `Metrics -> "metrics"
          | `Shutdown -> "shutdown")
     in
@@ -933,6 +1152,22 @@ let query_cmd =
          finish
            (Result.map print_string (Serve.Client.metrics client))
        | `Shutdown -> finish (Serve.Client.shutdown client)
+       | `Explain ->
+         let query =
+           { Serve.Protocol.default_query with
+             Serve.Protocol.capacity_bits = capacity;
+             flavor;
+             method_;
+             objective;
+             accounting;
+             space =
+               (if reduced then Serve.Protocol.reduced_override
+                else Serve.Protocol.no_override) }
+         in
+         finish
+           (Result.map
+              (fun j -> print_endline (Persist.Json.to_string j))
+              (Serve.Client.explain ?deadline_ms ?trace_id client query))
        | `Optimize ->
          let query =
            { Serve.Protocol.default_query with
@@ -971,7 +1206,7 @@ let query_cmd =
   let endpoint_arg =
     Arg.(value & opt endpoint_conv `Optimize
          & info [ "endpoint"; "e" ] ~docv:"ENDPOINT"
-             ~doc:"optimize, ping, stats, metrics or shutdown.")
+             ~doc:"optimize, explain, ping, stats, metrics or shutdown.")
   in
   let objective_arg =
     Arg.(value & opt objective_conv Opt.Objective.Energy_delay_product
@@ -1016,7 +1251,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ optimize_cmd; sweep_cmd; experiments_cmd; margins_cmd; assist_cmd;
-            anneal_cmd; bank_cmd; retention_cmd; corners_cmd; compare8t_cmd;
+          [ optimize_cmd; explain_cmd; sweep_cmd; experiments_cmd; margins_cmd;
+            assist_cmd; anneal_cmd; bank_cmd; retention_cmd; corners_cmd; compare8t_cmd;
             workload_cmd; validate_cmd; stat_cmd; datasheet_cmd; simulate_cmd;
             export_cmd; serve_cmd; query_cmd ]))

@@ -145,6 +145,165 @@ let evaluate env (g : Geometry.t) (a : Components.assist) =
 
 let edp env g a = (evaluate env g a).edp
 
+(* ----- attribution -----
+
+   [attribute] re-prices the same Table 3 components [evaluate] does
+   and lists each addend in the reference fold order instead of summing
+   it away.  It deliberately duplicates the combining arithmetic above:
+   folding the lists back (head-seeded, left-associated — see [refold])
+   must reproduce every [metrics] field bit for bit, which the QCheck
+   property suite asserts against [evaluate] so the two paths cannot
+   drift apart silently.  Cold path only — it allocates lists and runs
+   [evaluate] once for the reference record. *)
+
+type attribution = {
+  at_metrics : metrics;
+  at_alpha : float;
+  at_beta : float;
+  at_read_energy : (string * float) list;
+  at_write_energy : (string * float) list;
+  at_read_row : (string * float) list;
+  at_read_col : (string * float) list;
+  at_read_tail : (string * float) list;
+  at_write_row : (string * float) list;
+  at_write_col : (string * float) list;
+  at_write_tail : (string * float) list;
+}
+
+let refold = function
+  | [] -> 0.0
+  | (_, x) :: rest -> List.fold_left (fun acc (_, y) -> acc +. y) x rest
+
+let attribute env (g : Geometry.t) (a : Components.assist) =
+  let open Components in
+  let d = env.dcaps and cur = env.currents and per = env.periphery in
+  let cvdd = Components.cvdd d cur g a in
+  let cvss = Components.cvss d cur g a in
+  let wl_rd = Components.wl_read d cur g a in
+  let wl_wr = Components.wl_write d cur g a in
+  let col = Components.col d cur g a in
+  let bl_rd = Components.bl_read d cur g a in
+  let bl_wr = Components.bl_write d cur g a in
+  let pre_rd = Components.precharge_read d cur g a in
+  let pre_wr = Components.precharge_write d cur g a in
+  let row_dec = Periphery.row_dec per ~bits:(Geometry.row_address_bits g) in
+  let col_dec = Periphery.col_dec per ~bits:(Geometry.column_address_bits g) in
+  let assist_scaled e = env.dcdc_overhead *. e in
+  let e_cvdd = assist_scaled cvdd.energy in
+  let e_cvss = assist_scaled cvss.energy in
+  let e_wl_wr =
+    if a.vwl > vdd then assist_scaled wl_wr.energy else wl_wr.energy
+  in
+  let nc = float_of_int g.Geometry.nc in
+  let w = float_of_int (min g.Geometry.w g.Geometry.nc) in
+  let n_unselected = max 0.0 (nc -. w) in
+  let read_energy, write_energy =
+    match env.accounting with
+    | Paper_strict ->
+      ( [ ("row decoder", row_dec.Gates.Decoder.energy);
+          ("row driver", per.Periphery.driver_energy);
+          ("wordline", wl_rd.energy);
+          ("bitline", bl_rd.energy);
+          ("col decoder", col_dec.Gates.Decoder.energy);
+          ("col driver", per.Periphery.driver_energy);
+          ("column mux", col.energy);
+          ("sense amp", per.Periphery.sense_energy);
+          ("precharge", pre_rd.energy);
+          ("DC-DC V_DDC", e_cvdd);
+          ("DC-DC V_SSC", e_cvss) ],
+        [ ("row decoder", row_dec.Gates.Decoder.energy);
+          ("row driver", per.Periphery.driver_energy);
+          ("wordline", wl_wr.energy);
+          ("col decoder", col_dec.Gates.Decoder.energy);
+          ("col driver", per.Periphery.driver_energy);
+          ("column mux", col.energy);
+          ("bitline", bl_wr.energy);
+          ("write cell", per.Periphery.write_cell_energy);
+          ("precharge", pre_wr.energy) ] )
+    | Physical ->
+      let c_bl = Caps.bl d g in
+      let disturb = 2.0 *. c_bl *. vdd *. Finfet.Tech.delta_v_sense in
+      ( [ ("row decoder", row_dec.Gates.Decoder.energy);
+          ("row driver", per.Periphery.driver_energy);
+          ("wordline", wl_rd.energy);
+          ("bitlines+precharge (all n_c)", nc *. (bl_rd.energy +. pre_rd.energy));
+          ("col decoder", col_dec.Gates.Decoder.energy);
+          ("col driver", per.Periphery.driver_energy);
+          ("column mux", col.energy);
+          ("sense amps (W)", w *. per.Periphery.sense_energy);
+          ("DC-DC V_DDC", e_cvdd);
+          ("DC-DC V_SSC", e_cvss) ],
+        [ ("row decoder", row_dec.Gates.Decoder.energy);
+          ("row driver", per.Periphery.driver_energy);
+          ("wordline", e_wl_wr);
+          ("col decoder", col_dec.Gates.Decoder.energy);
+          ("col driver", per.Periphery.driver_energy);
+          ("column mux", col.energy);
+          ("write columns (W)",
+           w *. (bl_wr.energy +. per.Periphery.write_cell_energy
+                 +. pre_wr.energy));
+          ("read disturb (n_c-W)", n_unselected *. disturb) ] )
+  in
+  let col_path_stages =
+    if Geometry.has_column_mux g then
+      [ ("col decoder", col_dec.Gates.Decoder.delay);
+        ("col driver", per.Periphery.driver_delay);
+        ("column mux", col.delay) ]
+    else []
+  in
+  { at_metrics = evaluate env g a;
+    at_alpha = env.alpha;
+    at_beta = env.beta;
+    at_read_energy = read_energy;
+    at_write_energy = write_energy;
+    at_read_row =
+      [ ("row decoder", row_dec.Gates.Decoder.delay);
+        ("row driver", per.Periphery.driver_delay);
+        ("wordline", wl_rd.delay);
+        ("bitline", bl_rd.delay) ];
+    at_read_col = col_path_stages;
+    at_read_tail =
+      [ ("sense amp", per.Periphery.sense_delay);
+        ("precharge", pre_rd.delay) ];
+    at_write_row =
+      [ ("row decoder", row_dec.Gates.Decoder.delay);
+        ("row driver", per.Periphery.driver_delay);
+        ("wordline", wl_wr.delay) ];
+    at_write_col = col_path_stages @ [ ("bitline", bl_wr.delay) ];
+    at_write_tail =
+      [ ("write cell", Periphery.write_delay per ~vwl:a.vwl);
+        ("precharge", pre_wr.delay) ] }
+
+let attribution_consistent at =
+  let m = at.at_metrics in
+  let bits_eq x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y) in
+  let tail_fold seed stages =
+    List.fold_left (fun acc (_, x) -> acc +. x) seed stages
+  in
+  let e_read = refold at.at_read_energy in
+  let e_write = refold at.at_write_energy in
+  let d_read =
+    tail_fold (max (refold at.at_read_row) (refold at.at_read_col))
+      at.at_read_tail
+  in
+  let d_write =
+    tail_fold (max (refold at.at_write_row) (refold at.at_write_col))
+      at.at_write_tail
+  in
+  let d_array = max d_read d_write in
+  let e_switching =
+    (at.at_beta *. e_read) +. ((1.0 -. at.at_beta) *. e_write)
+  in
+  let e_total = (at.at_alpha *. e_switching) +. m.e_leakage in
+  bits_eq e_read m.e_read
+  && bits_eq e_write m.e_write
+  && bits_eq d_read m.d_read
+  && bits_eq d_write m.d_write
+  && bits_eq d_array m.d_array
+  && bits_eq e_switching m.e_switching
+  && bits_eq e_total m.e_total
+  && bits_eq (e_total *. d_array) m.edp
+
 (* ----- staged evaluation kernel -----
 
    [evaluate] recomputes, for every (geometry, assist) pair, work that

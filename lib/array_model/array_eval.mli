@@ -71,6 +71,52 @@ val evaluate : env -> Geometry.t -> Components.assist -> metrics
 val edp : env -> Geometry.t -> Components.assist -> float
 (** Shortcut for the optimizer's objective. *)
 
+(** {1 Attribution}
+
+    Where an evaluated design's energy and delay actually go,
+    component by component — the explanation behind the winner, not a
+    new model.  Every list below carries the Table 3 terms {e in the
+    exact order [evaluate] folds them}, so re-summing a list with
+    {!refold} reproduces the corresponding [metrics] field bit for bit
+    (OCaml [+.] is left-associative; {!refold} seeds the fold with the
+    first term to preserve the association).  The QCheck property
+    suite holds {!attribute} and [evaluate] together on random
+    geometries, assists and both accounting modes. *)
+
+type attribution = {
+  at_metrics : metrics;  (** the reference [evaluate] result *)
+  at_alpha : float;
+  at_beta : float;
+  (* Energy terms per access, in [evaluate]'s fold order.  Under
+     [Physical] accounting, multiplicity-scaled terms appear as the
+     single products the reference path adds (e.g. all-columns
+     bitline+precharge), never re-distributed. *)
+  at_read_energy : (string * float) list;   (** refold = [e_read] *)
+  at_write_energy : (string * float) list;  (** refold = [e_write] *)
+  (* Delay stages.  d_read = max(refold row, refold col) then the tail
+     terms folded in order; d_write likewise; d_array = max of the
+     two. *)
+  at_read_row : (string * float) list;   (** decoder, driver, WL, BL *)
+  at_read_col : (string * float) list;   (** empty without a column mux *)
+  at_read_tail : (string * float) list;  (** sense amp, precharge *)
+  at_write_row : (string * float) list;
+  at_write_col : (string * float) list;  (** column path + write bitline *)
+  at_write_tail : (string * float) list; (** write cell, precharge *)
+}
+
+val attribute : env -> Geometry.t -> Components.assist -> attribution
+
+val refold : (string * float) list -> float
+(** Left fold of [+.] seeded with the first term ([0.0] on an empty
+    list) — the association [evaluate] uses. *)
+
+val attribution_consistent : attribution -> bool
+(** Re-derive [e_read], [e_write], [e_switching], [e_total], [d_read],
+    [d_write], [d_array] and [edp] from the attribution lists and
+    compare each against [at_metrics] {e bitwise}
+    ([Int64.bits_of_float] equality).  [attribute] guarantees [true];
+    exposed so tests and the [explain] command can assert it. *)
+
 (** {1 Staged evaluation kernel}
 
     [evaluate] recomputes per-(geometry, assist) work that depends on

@@ -272,6 +272,122 @@ let server_stats_json () =
   in
   if serve_counters = [] then None else Some (Obj serve_counters)
 
+(* ----- search journal (Obs.Search) ----- *)
+
+(* Non-finite floats have no JSON representation, and several journal
+   fields legitimately carry them (EDP of a prune event, V_SSC of a
+   whole-line event, timestamps of an improvement that never happened) —
+   those fields are omitted rather than emitted. *)
+let finite_field name v = if Float.is_finite v then [ (name, Float v) ] else []
+
+let of_search_design (d : Obs.Search.design) =
+  Obj
+    ([ ("nr", Int d.Obs.Search.nr);
+       ("nc", Int d.Obs.Search.nc);
+       ("n_pre", Int d.Obs.Search.n_pre);
+       ("n_wr", Int d.Obs.Search.n_wr) ]
+     @ finite_field "vssc_v" d.Obs.Search.vssc)
+
+let of_search_event (ev : Obs.Search.event) =
+  Obj
+    ([ ("t_s", Float ev.Obs.Search.t);
+       ("kind", String (Obs.Search.kind_name ev.Obs.Search.kind));
+       ("source", String ev.Obs.Search.source) ]
+     @ finite_field "score" ev.Obs.Search.score
+     @ finite_field "edp_js" ev.Obs.Search.edp
+     @ (match ev.Obs.Search.design with
+        | Some d -> [ ("design", of_search_design d) ]
+        | None -> [])
+     @
+     match ev.Obs.Search.kind with
+     | Obs.Search.Chunk -> [ ("chunk", Int ev.Obs.Search.detail) ]
+     | Obs.Search.Incumbent | Obs.Search.Prune -> [])
+
+let of_search_summary (s : Obs.Search.summary) =
+  Obj
+    ([ ("incumbents", Int s.Obs.Search.incumbents);
+       ("chunks", Int s.Obs.Search.chunks);
+       ("prunes", Int s.Obs.Search.prunes);
+       ("prune_sample", Int Obs.Search.prune_sample);
+       ("journaled", Int s.Obs.Search.journaled);
+       ("dropped", Int s.Obs.Search.dropped) ]
+     @ finite_field "best_score" s.Obs.Search.best_score
+     @ finite_field "first_improvement_s" s.Obs.Search.first_improvement_s
+     @ finite_field "last_improvement_s" s.Obs.Search.last_improvement_s)
+
+(* The full convergence curve: what --search-log writes and the bench
+   harness embeds.  Events are already in timestamp order. *)
+let search_journal_json () =
+  Obj
+    [ ("summary", of_search_summary (Obs.Search.summary ()));
+      ("events", List (List.map of_search_event (Obs.Search.events ()))) ]
+
+(* ----- attribution (Array_eval.attribute) ----- *)
+
+let of_terms terms =
+  List (List.map (fun (name, v) -> Obj [ ("component", String name);
+                                         ("value", Float v) ]) terms)
+
+let of_attribution (at : Array_model.Array_eval.attribution) =
+  let open Array_model.Array_eval in
+  Obj
+    [ ("metrics", of_metrics at.at_metrics);
+      ("alpha", Float at.at_alpha);
+      ("beta", Float at.at_beta);
+      ("consistent_bitwise", Bool (attribution_consistent at));
+      ("read_energy_j", of_terms at.at_read_energy);
+      ("write_energy_j", of_terms at.at_write_energy);
+      ("read_delay_row_s", of_terms at.at_read_row);
+      ("read_delay_col_s", of_terms at.at_read_col);
+      ("read_delay_tail_s", of_terms at.at_read_tail);
+      ("write_delay_row_s", of_terms at.at_write_row);
+      ("write_delay_col_s", of_terms at.at_write_col);
+      ("write_delay_tail_s", of_terms at.at_write_tail);
+      ("e_total_rollup_j", of_terms (Opt.Explain.energy_rollup at)) ]
+
+let of_sensitivity (axes : Opt.Explain.axis list) =
+  let of_neighbor = function
+    | None -> Null
+    | Some (n : Opt.Explain.neighbor) ->
+      Obj
+        [ ("value", Float n.Opt.Explain.nb_value);
+          ("score", Float n.Opt.Explain.nb_score);
+          ("delta", Float n.Opt.Explain.nb_delta) ]
+  in
+  List
+    (List.map
+       (fun (ax : Opt.Explain.axis) ->
+         Obj
+           [ ("axis", String ax.Opt.Explain.ax_name);
+             ("value", Float ax.Opt.Explain.ax_value);
+             ("minus", of_neighbor ax.Opt.Explain.ax_minus);
+             ("plus", of_neighbor ax.Opt.Explain.ax_plus) ])
+       axes)
+
+let of_pareto (p : Opt.Explain.provenance) =
+  let of_candidate (c : Opt.Exhaustive.candidate) =
+    let g = c.Opt.Exhaustive.geometry in
+    let m = c.Opt.Exhaustive.metrics in
+    Obj
+      [ ("nr", Int g.Array_model.Geometry.nr);
+        ("nc", Int g.Array_model.Geometry.nc);
+        ("n_pre", Int g.Array_model.Geometry.n_pre);
+        ("n_wr", Int g.Array_model.Geometry.n_wr);
+        ("vssc_v", Float c.Opt.Exhaustive.assist.Array_model.Components.vssc);
+        ("d_array_s", Float m.Array_model.Array_eval.d_array);
+        ("e_total_j", Float m.Array_model.Array_eval.e_total);
+        ("edp_js", Float m.Array_model.Array_eval.edp) ]
+  in
+  Obj
+    [ ("source", String p.Opt.Explain.pv_source);
+      ("evaluated", Int p.Opt.Explain.pv_evaluated);
+      ("dominated", Int p.Opt.Explain.pv_dominated);
+      ("front", List (List.map of_candidate p.Opt.Explain.pv_front));
+      ("knee",
+       match p.Opt.Explain.pv_knee with
+       | Some c -> of_candidate c
+       | None -> Null) ]
+
 let runtime_stats_json () =
   let base =
     [ ("jobs", Int (Runtime.Pool.default_jobs ()));
@@ -286,5 +402,12 @@ let runtime_stats_json () =
     @ (match server_stats_json () with
        | None -> []
        | Some server -> [ ("server", server) ])
+    @
+    (* Convergence summary rides along whenever a journal recorded
+       anything (events or counted prunes). *)
+    (let s = Obs.Search.summary () in
+     if s.Obs.Search.journaled > 0 || s.Obs.Search.prunes > 0 then
+       [ ("search_journal", of_search_summary s) ]
+     else [])
   in
   Obj (base @ optional)

@@ -66,5 +66,30 @@ val runtime_stats_json : unit -> t
     section repeats the request/admission counters with the prefix
     stripped, so the serving bench and `stats` endpoint share this
     schema; a serving process likewise adds the ["windows"] section
-    ({!windows_json}).  The full schema is documented in DESIGN.md §7
-    and pinned by the [stats.json] golden. *)
+    ({!windows_json}), and a run with an armed {!Obs.Search} journal a
+    ["search_journal"] summary.  The full schema is documented in
+    DESIGN.md §7 and pinned by the [stats.json] golden. *)
+
+(** {1 Search-journal export (Obs.Search)} *)
+
+val of_search_event : Obs.Search.event -> t
+(** Non-finite fields (EDP of a prune event, V_SSC of a whole-line
+    event) are omitted, never emitted as invalid JSON. *)
+
+val of_search_summary : Obs.Search.summary -> t
+
+val search_journal_json : unit -> t
+(** [{"summary": ..., "events": [...]}] — the convergence curve
+    [--search-log] writes and BENCH_explain.json embeds.  Events are in
+    timestamp order. *)
+
+(** {1 Attribution and explanation export} *)
+
+val of_attribution : Array_model.Array_eval.attribution -> t
+(** The ordered bit-exact term lists, the reference metrics, a
+    [consistent_bitwise] flag (re-checked at emission), and the
+    display-weighted E_total rollup. *)
+
+val of_sensitivity : Opt.Explain.axis list -> t
+
+val of_pareto : Opt.Explain.provenance -> t

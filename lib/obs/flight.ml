@@ -144,10 +144,19 @@ let dump ~reason ?trace_id () =
         @ List.map (event_of_log epoch) (recent_logs ())
         @ [ marker ])
     in
+    (* pid + a monotonic per-process sequence keep two triggers in the
+       same second (or two daemons sharing a dump dir) from colliding;
+       the trace id makes the file findable from a client-side log line
+       without opening every dump. *)
+    let id_part =
+      match trace_id with
+      | Some id when id <> "" -> "-" ^ sanitize id
+      | Some _ | None -> ""
+    in
     let path =
       Filename.concat d
-        (Printf.sprintf "flight-%d-%03d-%s.json" (Unix.getpid ()) n
-           (sanitize reason))
+        (Printf.sprintf "flight-%d-%03d-%s%s.json" (Unix.getpid ()) n
+           (sanitize reason) id_part)
     in
     match
       (if not (Sys.file_exists d) then Unix.mkdir d 0o755);

@@ -45,4 +45,10 @@ val dump : reason:string -> ?trace_id:string -> unit -> string option
 (** Write the retained spans and log lines (plus a ["flight.dump:
     <reason>"] marker carrying [trace_id]) as one Chrome trace file in
     {!dir}; returns the path, or [None] when the dump cap is reached or
-    the write fails.  Never raises. *)
+    the write fails.  Never raises.
+
+    The filename is
+    [flight-<pid>-<seq>-<reason>[-<trace_id>].json]: the monotonic
+    per-process sequence makes two dumps in the same second distinct,
+    and the sanitized trace id (when given) links the file to the
+    request that triggered it. *)

@@ -94,7 +94,23 @@ let search ?(space = Space.default) ?(objective = Objective.Energy_delay_product
       current := next;
       current_cand := cand
     end;
-    if cand.Exhaustive.score < !best.Exhaustive.score then best := cand;
+    if cand.Exhaustive.score < !best.Exhaustive.score then begin
+      best := cand;
+      (* Observation only — the annealing trajectory (RNG draws,
+         accepts) is identical with the journal on or off. *)
+      if Obs.Search.enabled () then begin
+        let g = cand.Exhaustive.geometry in
+        Obs.Search.record_incumbent ~source:"anneal"
+          ~score:cand.Exhaustive.score
+          ~edp:cand.Exhaustive.metrics.Array_model.Array_eval.edp
+          ~design:
+            { Obs.Search.nr = g.Array_model.Geometry.nr;
+              nc = g.Array_model.Geometry.nc;
+              n_pre = g.Array_model.Geometry.n_pre;
+              n_wr = g.Array_model.Geometry.n_wr;
+              vssc = cand.Exhaustive.assist.Array_model.Components.vssc }
+      end
+    end;
     temperature := !temperature *. schedule.cooling
   done;
   (* A heuristic search decides exactly the points it evaluates. *)

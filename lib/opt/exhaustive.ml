@@ -354,6 +354,23 @@ let geometry_memo :
    tightens below it. *)
 let scan_block = 8
 
+(* Bound tightness: relative gap (realized - bound) / realized between a
+   line's admissible whole-line bound and the minimum its full scan
+   actually achieved.  Near 0 means the envelope is nearly exact; mass
+   near 1 would mean pruning works only because the incumbent is far
+   better, not because the bound is tight.  Recorded for surviving
+   fully-scanned lines when observability is on ([--stats] / serving),
+   read back as quantiles by [--stats], BENCH_explain.json and the
+   Prometheus exposition. *)
+let bound_gap_hist = Obs.Histogram.create ~sample:1 "opt.bound_gap"
+
+let journal_design (g : Array_model.Geometry.t) ~vssc =
+  { Obs.Search.nr = g.Array_model.Geometry.nr;
+    nc = g.Array_model.Geometry.nc;
+    n_pre = g.Array_model.Geometry.n_pre;
+    n_wr = g.Array_model.Geometry.n_wr;
+    vssc }
+
 let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
     ?levels ?pool ?w ?(kernel = `Staged) ?stage_ctx ?journal ?deadline ~env
     ~capacity_bits ~method_ ~keep_all () =
@@ -489,10 +506,22 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
            are scanned only for survivors — a pruned line costs exactly
            one bound evaluation, as in the unbatched kernel. *)
         Array_model.Array_eval.scan_slice st bound_ps bbuf ~lo:0 ~hi:1;
-        if score_at objective bbuf 0 > Runtime.Shared_min.get incumbent then begin
-          ignore (Atomic.fetch_and_add n_pruned 1);
+        let line_bound = score_at objective bbuf 0 in
+        if line_bound > Runtime.Shared_min.get incumbent then begin
+          let np = Atomic.fetch_and_add n_pruned 1 in
           Runtime.Telemetry.incr pruned_scans;
           Obs.Progress.add_pruned 1;
+          (* Journal a sample of prune decisions (observation only — the
+             prune itself already happened).  The search's own prune
+             counter doubles as the sampling clock, so the armed cost
+             per pruned line is the [enabled] load alone; totals are
+             folded into the journal once, at completion.  Whole-line
+             events carry no vssc coordinate. *)
+          if np land (Obs.Search.prune_sample - 1) = 0 && Obs.Search.enabled ()
+          then
+            Obs.Search.record_sampled_prune ~source:"exhaustive"
+              ~bound:line_bound
+              ~design:(journal_design geometries.(i) ~vssc:Float.nan);
           pruned_line
         end
         else begin
@@ -537,7 +566,23 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
           let bi = !best_i in
           let metrics = Array_model.Array_eval.complete st prepared.(bi) in
           let score = !best_score in
-          Runtime.Shared_min.publish incumbent score;
+          (* Bound tightness is only meaningful against the line's true
+             minimum, so abandoned scans (whose tail could still have
+             improved [best_score], just not the winner) are excluded. *)
+          if !scanned = nv && Obs.Control.is_enabled () && score > 0.0 then
+            Obs.Histogram.observe bound_gap_hist
+              ((score -. line_bound) /. score);
+          (* The journal piggybacks on the CAS the search already pays:
+             [publish_improved]'s boolean is read only when armed, so
+             the published min — and therefore the winner — is
+             identical with the journal on or off. *)
+          let improved = Runtime.Shared_min.publish_improved incumbent score in
+          if improved && Obs.Search.enabled () then
+            Obs.Search.record_incumbent ~source:"exhaustive" ~score
+              ~edp:metrics.Array_model.Array_eval.edp
+              ~design:
+                (journal_design geometries.(i)
+                   ~vssc:assists.(bi).Array_model.Components.vssc);
           ( Some
               { geometry = Array.unsafe_get geometries i;
                 assist = assists.(bi);
@@ -622,6 +667,9 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
         for i = lo to hi do
           best := better !best (fst (eval_line i))
         done;
+        if Obs.Search.enabled () then
+          Obs.Search.record_chunk ~source:"exhaustive" ~index:ci
+            ~score:(match !best with Some c -> c.score | None -> infinity);
         let incumbent_json =
           let s = Runtime.Shared_min.get incumbent in
           if Float.is_finite s then J.Float s else J.Null
@@ -663,6 +711,7 @@ let run ?(space = Space.default) ?(objective = Objective.Energy_delay_product)
   match best with
   | None -> invalid_arg "Exhaustive.search: no candidates"
   | Some best ->
+    Obs.Search.note_prunes (Atomic.get n_pruned);
     ( { best;
         evaluated = Atomic.get n_evaluated;
         pruned = Atomic.get n_pruned;

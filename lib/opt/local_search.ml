@@ -275,7 +275,23 @@ let search ?(space = Space.default) ?(objective = Objective.Energy_delay_product
         let candidate = restart k in
         match !best with
         | Some b when b.Exhaustive.score <= candidate.Exhaustive.score -> ()
-        | Some _ | None -> best := Some candidate
+        | Some _ | None ->
+          best := Some candidate;
+          (* Observation only: the journal never feeds back into the
+             descent, so results are identical with it on or off. *)
+          if Obs.Search.enabled () then begin
+            let g = candidate.Exhaustive.geometry in
+            Obs.Search.record_incumbent ~source:"local_search"
+              ~score:candidate.Exhaustive.score
+              ~edp:candidate.Exhaustive.metrics.Array_model.Array_eval.edp
+              ~design:
+                { Obs.Search.nr = g.Array_model.Geometry.nr;
+                  nc = g.Array_model.Geometry.nc;
+                  n_pre = g.Array_model.Geometry.n_pre;
+                  n_wr = g.Array_model.Geometry.n_wr;
+                  vssc =
+                    candidate.Exhaustive.assist.Array_model.Components.vssc }
+          end
       done);
   match !best with
   | None -> invalid_arg "Local_search.search: no candidates"

@@ -16,4 +16,9 @@ val get : t -> float
 val publish : t -> float -> unit
 (** Lower the shared value to [x] if [x] is smaller; no-op otherwise. *)
 
+val publish_improved : t -> float -> bool
+(** Like {!publish}, and reports whether [x] actually lowered the
+    value.  Lets an observer (the search journal) piggyback on the CAS
+    the search already pays instead of re-reading the shared cell. *)
+
 val reset : t -> unit

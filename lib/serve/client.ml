@@ -99,6 +99,9 @@ type answer = {
   result : Opt.Exhaustive.result;
 }
 
+let explain ?deadline_ms ?trace_id t query =
+  payload_of (call ?deadline_ms ?trace_id t (P.Explain query))
+
 let optimize ?deadline_ms ?trace_id t query =
   match payload_of (call ?deadline_ms ?trace_id t (P.Optimize query)) with
   | Error _ as e -> e

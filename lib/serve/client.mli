@@ -55,6 +55,14 @@ type answer = {
   result : Opt.Exhaustive.result;
 }
 
+val explain :
+  ?deadline_ms:float -> ?trace_id:string -> t -> Protocol.query ->
+  (Persist.Json.t, string) result
+(** The winner's attribution / sensitivity payload for [query], raw:
+    callers print or pick fields rather than decode a record.  The
+    server computes it from the same optimize memo, so explaining an
+    already-served design is a cache hit. *)
+
 val optimize :
   ?deadline_ms:float -> ?trace_id:string -> t -> Protocol.query ->
   (answer, string) result

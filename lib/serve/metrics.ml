@@ -129,6 +129,58 @@ let histograms buf =
       windowed buf (base ^ "_window") windows)
     (Obs.Window.report ())
 
+(* Search-introspection exposure: journal counters from [Obs.Search]
+   and the bound-quality summary from the "opt.bound_gap" histogram.
+   Both appear once a search has run (the server arms the journal at
+   startup), so dashboards can plot pruning effectiveness and bound
+   slack across the serving lifetime. *)
+let search buf =
+  let s = Obs.Search.summary () in
+  if s.Obs.Search.incumbents > 0 || s.Obs.Search.prunes > 0
+     || s.Obs.Search.chunks > 0
+  then begin
+    let counter name help v =
+      header buf name "counter" help;
+      line buf name [] (string_of_int v)
+    in
+    counter "search_incumbents_total"
+      "incumbent improvements recorded by the search journal"
+      s.Obs.Search.incumbents;
+    counter "search_prunes_total"
+      "geometry lines pruned by the admissible lower bound"
+      s.Obs.Search.prunes;
+    counter "search_chunks_total" "search chunks completed"
+      s.Obs.Search.chunks;
+    counter "search_events_journaled_total"
+      "events retained in the bounded journal" s.Obs.Search.journaled;
+    counter "search_events_dropped_total"
+      "events dropped at the journal capacity bound" s.Obs.Search.dropped;
+    if Float.is_finite s.Obs.Search.best_score then begin
+      header buf "search_best_score" "gauge"
+        "best objective score the journal has seen";
+      line buf "search_best_score" [] (fmt_float s.Obs.Search.best_score)
+    end
+  end;
+  match
+    List.find_opt
+      (fun (sn : Obs.Histogram.snapshot) ->
+        sn.Obs.Histogram.name = "opt.bound_gap")
+      (Obs.Histogram.snapshots ())
+  with
+  | Some sn when sn.Obs.Histogram.count > 0 ->
+    let metric = "opt_bound_gap_ratio" in
+    header buf metric "summary"
+      "relative slack of the line lower bound vs the realized line minimum";
+    List.iter
+      (fun (q_label, q) ->
+        line buf metric
+          [ ("quantile", q_label) ]
+          (fmt_float (Obs.Histogram.percentile sn q)))
+      quantiles;
+    line buf (metric ^ "_sum") [] (fmt_float sn.Obs.Histogram.sum);
+    line buf (metric ^ "_count") [] (string_of_int sn.Obs.Histogram.count)
+  | Some _ | None -> ()
+
 let memos buf =
   let stats = Runtime.Memo.registered_stats () in
   if stats <> [] then begin
@@ -184,6 +236,7 @@ let render () =
   serve_counters buf;
   windowed_counters buf;
   histograms buf;
+  search buf;
   memos buf;
   gc buf;
   build_info buf;

@@ -48,6 +48,7 @@ let default_query =
 type endpoint =
   | Ping
   | Optimize of query
+  | Explain of query
   | Stats
   | Metrics
   | Shutdown
@@ -55,6 +56,7 @@ type endpoint =
 let endpoint_name = function
   | Ping -> "ping"
   | Optimize _ -> "optimize"
+  | Explain _ -> "explain"
   | Stats -> "stats"
   | Metrics -> "metrics"
   | Shutdown -> "shutdown"
@@ -160,7 +162,7 @@ let request_to_json (r : request) =
   in
   let query =
     match r.endpoint with
-    | Optimize q -> [ ("query", query_to_json q) ]
+    | Optimize q | Explain q -> [ ("query", query_to_json q) ]
     | Ping | Stats | Metrics | Shutdown -> []
   in
   J.Obj
@@ -278,10 +280,10 @@ let request_of_json j =
     | "stats" -> Ok Stats
     | "metrics" -> Ok Metrics
     | "shutdown" -> Ok Shutdown
-    | "optimize" ->
+    | "optimize" | "explain" ->
       let* qj = require "query" (J.member "query" j) in
       let* q = query_of_json qj in
-      Ok (Optimize q)
+      Ok (if endpoint_s = "explain" then Explain q else Optimize q)
     | other -> Error (Printf.sprintf "unknown endpoint %S" other)
   in
   Ok { id; deadline_ms; trace_id; endpoint }

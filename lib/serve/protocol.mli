@@ -38,13 +38,17 @@ val default_query : query
 type endpoint =
   | Ping                (** liveness probe; payload echoes the server pid *)
   | Optimize of query   (** one co-optimization; payload is the winner *)
+  | Explain of query
+  (** the winner's bit-exact attribution and per-axis sensitivity; the
+      search itself reuses the optimize memo, so explaining a design
+      already served is cheap *)
   | Stats               (** runtime telemetry snapshot *)
   | Metrics             (** Prometheus text exposition (payload: one string) *)
   | Shutdown            (** ack, then drain and exit the serve loop *)
 
 val endpoint_name : endpoint -> string
-(** "ping" / "optimize" / "stats" / "metrics" / "shutdown" — histogram
-    and counter labels. *)
+(** "ping" / "optimize" / "explain" / "stats" / "metrics" / "shutdown" —
+    histogram and counter labels. *)
 
 type request = {
   id : int;

@@ -70,11 +70,15 @@ let slo_counters =
    metrics output has stable shape from the first scrape. *)
 let init_observability config =
   Obs.Flight.arm ?dir:config.flight_dir ();
+  (* Search journal on for the server's lifetime: its counters feed the
+     Prometheus exposition.  Observation only — winners stay
+     bit-identical to a journal-off run. *)
+  Obs.Search.arm ();
   ignore (Obs.Window.create (Lazy.force h_queue_wait));
   ignore (Obs.Window.create (Lazy.force h_e2e));
   List.iter
     (fun ep -> ignore (Obs.Window.create (h_handle ep)))
-    [ "ping"; "optimize"; "stats"; "metrics"; "shutdown" ];
+    [ "ping"; "optimize"; "explain"; "stats"; "metrics"; "shutdown" ];
   List.iter
     (fun c ->
       let counter = Runtime.Telemetry.counter c in
@@ -108,6 +112,68 @@ let optimize_payload (q : P.query) ~deadline =
            ("checksum", J.String (Opt.Exhaustive.checksum [ result ]));
            ("eval_s", J.Float (now () -. t0));
            ("result", Opt.Exhaustive.result_to_json result) ])
+  | exception Opt.Exhaustive.Deadline_exceeded ->
+    count "serve.deadline_expired";
+    error P.Deadline "deadline passed during the search"
+  | exception Invalid_argument msg -> error P.Bad_request msg
+
+(* Same memoized entry as optimize, so explaining a design the server
+   already answered costs a cache hit plus a handful of evaluations;
+   the attribution is checked to refold bit-exactly before the payload
+   leaves the process. *)
+let explain_payload (q : P.query) ~deadline =
+  let space =
+    if q.P.space = P.no_override then None
+    else Some (P.space_of_override q.P.space)
+  in
+  let config =
+    { Sram_edp.Framework.flavor = q.P.flavor; method_ = q.P.method_ }
+  in
+  let t0 = now () in
+  match
+    Sram_edp.Framework.optimize ?space ~objective:q.P.objective
+      ~accounting:q.P.accounting ~w:q.P.w ?deadline
+      ~capacity_bits:q.P.capacity_bits ~config ()
+  with
+  | o ->
+    let result = o.Sram_edp.Framework.result in
+    let winner = result.Opt.Exhaustive.best in
+    let env =
+      Array_model.Array_eval.ctx_env
+        (Sram_edp.Framework.stage_ctx_for ~flavor:q.P.flavor
+           ~accounting:q.P.accounting)
+    in
+    let at =
+      Array_model.Array_eval.attribute env winner.Opt.Exhaustive.geometry
+        winner.Opt.Exhaustive.assist
+    in
+    if not (Array_model.Array_eval.attribution_consistent at) then
+      error P.Internal
+        "attribution terms do not refold to evaluate's totals bit-for-bit"
+    else begin
+      let sens =
+        Opt.Explain.sensitivity ?space ~objective:q.P.objective ~env
+          ~pins:result.Opt.Exhaustive.pins ~winner ()
+      in
+      (* [Json_out] and the wire use different JSON trees; round-trip
+         through the compact string, as the stats endpoint does. *)
+      let jo =
+        Sram_edp.Json_out.Obj
+          [ ("attribution", Sram_edp.Json_out.of_attribution at);
+            ("sensitivity", Sram_edp.Json_out.of_sensitivity sens) ]
+      in
+      match J.of_string (Sram_edp.Json_out.to_string jo) with
+      | Ok (J.Obj fields) ->
+        Ok
+          (J.Obj
+             ([ ("capacity_bits", J.Int q.P.capacity_bits);
+                ("config", J.String (Sram_edp.Framework.config_name config));
+                ("checksum", J.String (Opt.Exhaustive.checksum [ result ]));
+                ("eval_s", J.Float (now () -. t0)) ]
+             @ fields))
+      | Ok _ -> error P.Internal "explain serialization: unexpected shape"
+      | Error e -> error P.Internal ("explain serialization: " ^ e)
+    end
   | exception Opt.Exhaustive.Deadline_exceeded ->
     count "serve.deadline_expired";
     error P.Deadline "deadline passed during the search"
@@ -156,6 +222,10 @@ let handle ~default_deadline_ms ~draining (p : pending) =
         try optimize_payload q ~deadline
         with e ->
           error P.Internal (Printexc.to_string e))
+      | P.Explain q -> (
+        try explain_payload q ~deadline
+        with e ->
+          error P.Internal (Printexc.to_string e))
   in
   (* Everything recorded while evaluating — spans from the search
      layers, warn+ log lines — carries this request's trace id, so a
@@ -173,6 +243,7 @@ let handle ~default_deadline_ms ~draining (p : pending) =
         | P.Metrics -> "serve.request.metrics"
         | P.Shutdown -> "serve.request.shutdown"
         | P.Optimize _ -> "serve.request.optimize"
+        | P.Explain _ -> "serve.request.explain"
       in
       Obs.Trace.with_context id (fun () ->
           Obs.Trace.with_span span evaluate)

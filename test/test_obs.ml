@@ -532,6 +532,31 @@ let flight_tests =
           | Error e -> Alcotest.failf "dump is not valid JSON: %s" e);
           Sys.remove path);
         Obs.Flight.disarm ());
+    case "dumps with distinct trace ids get distinct filenames" (fun () ->
+        let dir =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "sram_opt_flightname_%d" (Unix.getpid ()))
+        in
+        Obs.Flight.arm ~dir ();
+        let dump tid =
+          match Obs.Flight.dump ~reason:"same reason" ?trace_id:tid () with
+          | Some path -> path
+          | None -> Alcotest.fail "dump refused to write"
+        in
+        let a = dump (Some "tid-a") in
+        let b = dump (Some "tid-b") in
+        let c = dump None in
+        (* Same reason, same pid: the sequence number and the trace id
+           keep a crash-looping request from overwriting its own
+           evidence. *)
+        Alcotest.(check bool) "all distinct" true
+          (a <> b && b <> c && a <> c);
+        Alcotest.(check bool) "trace id in filename" true
+          (contains ~needle:"tid-a" (Filename.basename a));
+        Alcotest.(check bool) "other trace id in filename" true
+          (contains ~needle:"tid-b" (Filename.basename b));
+        List.iter Sys.remove [ a; b; c ];
+        Obs.Flight.disarm ());
     case "dump cap stops a crash loop from filling the disk" (fun () ->
         let dir =
           Filename.concat (Filename.get_temp_dir_name ())
@@ -660,6 +685,81 @@ let progress_tests =
         close_out devnull;
         Alcotest.(check bool) "inactive again" false (Obs.Progress.active ())) ]
 
+(* ----- Search journal ----- *)
+
+let some_design =
+  { Obs.Search.nr = 64; nc = 64; n_pre = 5; n_wr = 2; vssc = -0.1 }
+
+let search_journal_tests =
+  [ case "disarmed journal records nothing" (fun () ->
+        Obs.Search.disarm ();
+        Obs.Search.arm ();
+        Obs.Search.disarm ();
+        Alcotest.(check bool) "gate off" false (Obs.Search.enabled ());
+        Obs.Search.record_incumbent ~source:"t" ~score:1.0 ~edp:1.0
+          ~design:some_design;
+        let s = Obs.Search.summary () in
+        Alcotest.(check int) "no incumbents" 0 s.Obs.Search.incumbents);
+    case "incumbents, chunks and prune sampling are summarized" (fun () ->
+        Obs.Search.arm ();
+        Obs.Search.record_incumbent ~source:"t" ~score:2.0 ~edp:2.0
+          ~design:some_design;
+        Obs.Search.record_incumbent ~source:"t" ~score:1.0 ~edp:1.0
+          ~design:some_design;
+        Obs.Search.record_chunk ~source:"t" ~index:3 ~score:1.0;
+        for _ = 1 to (2 * Obs.Search.prune_sample) + 1 do
+          Obs.Search.record_prune ~source:"t" ~bound:5.0 ~design:some_design
+        done;
+        let s = Obs.Search.summary () in
+        Obs.Search.disarm ();
+        Alcotest.(check int) "incumbents" 2 s.Obs.Search.incumbents;
+        Alcotest.(check int) "chunks" 1 s.Obs.Search.chunks;
+        Alcotest.(check int)
+          "every prune counted"
+          ((2 * Obs.Search.prune_sample) + 1)
+          s.Obs.Search.prunes;
+        (* 1-in-N sampling: 2N+1 calls journal at most 3 prune events. *)
+        Alcotest.(check bool) "prunes sampled" true
+          (s.Obs.Search.journaled <= 2 + 1 + 3);
+        Alcotest.(check (float 0.0)) "best is the last incumbent" 1.0
+          s.Obs.Search.best_score;
+        Alcotest.(check bool) "improvement times ordered" true
+          (s.Obs.Search.first_improvement_s <= s.Obs.Search.last_improvement_s);
+        let evs = Obs.Search.events () in
+        Alcotest.(check int) "events match journaled" s.Obs.Search.journaled
+          (List.length evs);
+        let ts = Array.of_list (List.map (fun e -> e.Obs.Search.t) evs) in
+        check_increasing "events sorted by time" ts;
+        (match
+           List.find_opt (fun e -> e.Obs.Search.kind = Obs.Search.Chunk) evs
+         with
+        | Some e -> Alcotest.(check int) "chunk index" 3 e.Obs.Search.detail
+        | None -> Alcotest.fail "chunk event missing"));
+    case "buffer cap drops, never grows" (fun () ->
+        Obs.Search.arm ~capacity:4 ();
+        for i = 1 to 10 do
+          Obs.Search.record_incumbent ~source:"t" ~score:(float_of_int (-i))
+            ~edp:1.0 ~design:some_design
+        done;
+        let s = Obs.Search.summary () in
+        Obs.Search.disarm ();
+        Alcotest.(check int) "journaled at cap" 4 s.Obs.Search.journaled;
+        Alcotest.(check int) "rest dropped" 6 s.Obs.Search.dropped;
+        Alcotest.(check int) "all counted" 10 s.Obs.Search.incumbents;
+        (* Counters live outside the buffer: best_score tracks the last
+           improvement even after the buffer filled. *)
+        Alcotest.(check (float 0.0)) "best tracked past the cap" (-10.0)
+          s.Obs.Search.best_score);
+    case "rearming resets the journal" (fun () ->
+        Obs.Search.arm ();
+        Obs.Search.record_incumbent ~source:"t" ~score:1.0 ~edp:1.0
+          ~design:some_design;
+        Obs.Search.arm ();
+        let s = Obs.Search.summary () in
+        Obs.Search.disarm ();
+        Alcotest.(check int) "fresh buffer" 0 s.Obs.Search.journaled;
+        Alcotest.(check int) "fresh counters" 0 s.Obs.Search.incumbents) ]
+
 (* ----- Determinism guard ----- *)
 
 let determinism_tests =
@@ -709,4 +809,5 @@ let () =
       ("telemetry_epoch", telemetry_epoch_tests);
       ("log", log_tests);
       ("progress", progress_tests);
+      ("search_journal", search_journal_tests);
       ("determinism", determinism_tests) ]

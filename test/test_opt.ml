@@ -386,6 +386,138 @@ let local_search_tests =
         check_close "pins" 0.60
           r.Opt.Exhaustive.best.Opt.Exhaustive.assist.Array_model.Components.vddc) ]
 
+let journal_tests =
+  [ case "anneal result JSON round-trips the considered count" (fun () ->
+        let r =
+          Opt.Anneal.search ~space:Opt.Space.reduced ~seed:7 ~env:env_hvt
+            ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
+        in
+        Alcotest.(check int) "a heuristic considers what it evaluates"
+          r.Opt.Exhaustive.evaluated r.Opt.Exhaustive.considered;
+        let j = Opt.Exhaustive.result_to_json r in
+        Alcotest.(check (option int)) "considered on the wire"
+          (Some r.Opt.Exhaustive.considered)
+          (Persist.Json.int_field j "considered");
+        match Opt.Exhaustive.result_of_json j with
+        | None -> Alcotest.fail "result does not decode"
+        | Some r' ->
+          Alcotest.(check int) "considered survives the round-trip"
+            r.Opt.Exhaustive.considered r'.Opt.Exhaustive.considered);
+    slow_case "journal is observation-only: winners bit-identical on/off"
+      (fun () ->
+        let fingerprint (r : Opt.Exhaustive.result) =
+          let b = r.Opt.Exhaustive.best in
+          let g = b.Opt.Exhaustive.geometry in
+          Printf.sprintf "%d/%d/%d/%d %.17g %.17g" g.Array_model.Geometry.nr
+            g.Array_model.Geometry.nc g.Array_model.Geometry.n_pre
+            g.Array_model.Geometry.n_wr
+            b.Opt.Exhaustive.assist.Array_model.Components.vssc
+            b.Opt.Exhaustive.score
+        in
+        let search jobs =
+          let pool = Runtime.Pool.create ~jobs () in
+          Opt.Exhaustive.search ~space:Opt.Space.reduced ~pool ~env:env_hvt
+            ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
+        in
+        List.iter
+          (fun jobs ->
+            Obs.Search.disarm ();
+            let off = fingerprint (search jobs) in
+            Obs.Search.arm ();
+            Obs.Control.set_enabled true;
+            let on = fingerprint (search jobs) in
+            let s = Obs.Search.summary () in
+            Obs.Control.set_enabled false;
+            Obs.Search.disarm ();
+            Alcotest.(check string)
+              (Printf.sprintf "identical design at jobs=%d" jobs)
+              off on;
+            Alcotest.(check bool)
+              (Printf.sprintf "journal saw the search at jobs=%d" jobs)
+              true
+              (s.Obs.Search.incumbents > 0 || s.Obs.Search.prunes > 0))
+          [ 1; 2; 4 ];
+        (* The armed run fed the bound-quality histogram; gaps are
+           relative, so every observation is non-negative. *)
+        match
+          List.find_opt
+            (fun (sn : Obs.Histogram.snapshot) ->
+              sn.Obs.Histogram.name = "opt.bound_gap")
+            (Obs.Histogram.snapshots ())
+        with
+        | None -> Alcotest.fail "opt.bound_gap histogram never registered"
+        | Some sn ->
+          Alcotest.(check bool) "bound gaps observed" true
+            (sn.Obs.Histogram.count > 0);
+          Alcotest.(check bool) "gaps non-negative" true
+            (sn.Obs.Histogram.min_s >= 0.0)) ]
+
+let explain_tests =
+  let result =
+    lazy
+      (Opt.Exhaustive.search ~space:Opt.Space.reduced ~env:env_hvt
+         ~capacity_bits:small_cap ~method_:Opt.Space.M2 ())
+  in
+  [ case "no grid neighbor of the exhaustive winner is better" (fun () ->
+        let r = Lazy.force result in
+        let axes =
+          Opt.Explain.sensitivity ~space:Opt.Space.reduced ~env:env_hvt
+            ~pins:r.Opt.Exhaustive.pins ~winner:r.Opt.Exhaustive.best ()
+        in
+        Alcotest.(check (list string))
+          "axes in search order"
+          [ "n_r"; "N_pre"; "N_wr"; "V_SSC" ]
+          (List.map (fun a -> a.Opt.Explain.ax_name) axes);
+        List.iter
+          (fun (ax : Opt.Explain.axis) ->
+            List.iter
+              (function
+                | None -> ()
+                | Some (n : Opt.Explain.neighbor) ->
+                  if n.Opt.Explain.nb_delta < 0.0 then
+                    Alcotest.failf
+                      "%s neighbor at %g beats the winner by %.3g%%"
+                      ax.Opt.Explain.ax_name n.Opt.Explain.nb_value
+                      (-100.0 *. n.Opt.Explain.nb_delta))
+              [ ax.Opt.Explain.ax_minus; ax.Opt.Explain.ax_plus ])
+          axes);
+    case "energy rollup reproduces E_total" (fun () ->
+        let r = Lazy.force result in
+        let b = r.Opt.Exhaustive.best in
+        let at =
+          Array_model.Array_eval.attribute env_hvt b.Opt.Exhaustive.geometry
+            b.Opt.Exhaustive.assist
+        in
+        Alcotest.(check bool) "terms refold bit-exactly" true
+          (Array_model.Array_eval.attribution_consistent at);
+        let rollup = Opt.Explain.energy_rollup at in
+        let total = List.fold_left (fun acc (_, e) -> acc +. e) 0.0 rollup in
+        check_close "weighted shares sum to the total"
+          at.Array_model.Array_eval.at_metrics.Array_model.Array_eval.e_total
+          total);
+    slow_case "pareto provenance accounts for every candidate" (fun () ->
+        let p =
+          Opt.Explain.pareto ~space:Opt.Space.reduced ~env:env_hvt
+            ~capacity_bits:small_cap ~method_:Opt.Space.M2 ()
+        in
+        Alcotest.(check int) "front + dominated = evaluated"
+          p.Opt.Explain.pv_evaluated
+          (List.length p.Opt.Explain.pv_front + p.Opt.Explain.pv_dominated);
+        Alcotest.(check bool) "front nonempty" true
+          (p.Opt.Explain.pv_front <> []);
+        let best_front =
+          List.fold_left
+            (fun acc (c : Opt.Exhaustive.candidate) ->
+              min acc c.Opt.Exhaustive.score)
+            infinity p.Opt.Explain.pv_front
+        in
+        let r = Lazy.force result in
+        (* The EDP winner is Pareto-optimal, so the front must contain
+           a point with exactly the winning score. *)
+        Alcotest.(check int64) "winner sits on the front"
+          (Int64.bits_of_float r.Opt.Exhaustive.best.Opt.Exhaustive.score)
+          (Int64.bits_of_float best_front)) ]
+
 let array_yield_tests =
   let g = Array_model.Geometry.create ~nr:128 ~nc:256 ~n_pre:24 ~n_wr:2 () in
   [ case "zero cell failures give unit yield" (fun () ->
@@ -432,4 +564,6 @@ let () =
       ("pareto_props", pareto_prop_tests);
       ("anneal", anneal_tests);
       ("local_search", local_search_tests);
+      ("journal", journal_tests);
+      ("explain", explain_tests);
       ("array_yield", array_yield_tests) ]

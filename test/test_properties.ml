@@ -287,6 +287,36 @@ let prop_scan_bit_identical =
           !ok)
         kernel_envs)
 
+let prop_attribution_bit_exact =
+  (* The explainer's contract: [attribute] deliberately re-derives
+     [evaluate]'s arithmetic term by term, and its ordered lists must
+     refold — left-associated, head-seeded — to the very same IEEE
+     bits, across random geometries, both accounting modes, and the
+     -0.0/subnormal V_SSC corner operands the scan kernel guards. *)
+  QCheck.Test.make
+    ~name:"attribution terms refold to evaluate's totals bit-for-bit"
+    ~count:100
+    QCheck.(pair geometry_gen (list_of_size (Gen.int_range 1 4) assist_gen))
+    (fun (g, random_assists) ->
+      let assists = corner_assists @ random_assists in
+      List.for_all
+        (fun env ->
+          List.for_all
+            (fun a ->
+              let open Array_model.Array_eval in
+              let at = attribute env g a in
+              let m = evaluate env g a in
+              attribution_consistent at
+              && bits_equal at.at_metrics.e_read m.e_read
+              && bits_equal at.at_metrics.e_write m.e_write
+              && bits_equal at.at_metrics.e_total m.e_total
+              && bits_equal at.at_metrics.d_read m.d_read
+              && bits_equal at.at_metrics.d_write m.d_write
+              && bits_equal at.at_metrics.d_array m.d_array
+              && bits_equal at.at_metrics.edp m.edp)
+            assists)
+        kernel_envs)
+
 let prop_suffix_bounds_admissible =
   (* The mid-scan abandonment invariant: scanning the [bound_prepared]
      image of suffix envelope [j] yields slots that lower-bound every
@@ -531,7 +561,8 @@ let () =
       ("staged_kernel",
        List.map to_alco
          [ prop_staged_bit_identical; prop_bound_admissible;
-           prop_scan_bit_identical; prop_suffix_bounds_admissible;
+           prop_scan_bit_identical; prop_attribution_bit_exact;
+           prop_suffix_bounds_admissible;
            prop_pruned_search_matches_reference ]
        @ [ Alcotest.test_case "full sweep reproduces committed checksum"
              `Slow test_full_sweep_deterministic;

@@ -178,7 +178,8 @@ let request_gen =
   let* endpoint =
     oneof
       [ return P.Ping; return P.Stats; return P.Metrics; return P.Shutdown;
-        map (fun q -> P.Optimize q) query_gen ]
+        map (fun q -> P.Optimize q) query_gen;
+        map (fun q -> P.Explain q) query_gen ]
   in
   return { P.id; deadline_ms; trace_id; endpoint }
 
@@ -244,6 +245,7 @@ let protocol_tests =
           [ "[]"; "{}"; "{\"id\":\"x\"}"; "{\"id\":1}";
             "{\"id\":1,\"endpoint\":\"warp\"}";
             "{\"id\":1,\"endpoint\":\"optimize\"}";
+            "{\"id\":1,\"endpoint\":\"explain\"}";
             "{\"id\":1,\"endpoint\":\"optimize\",\"query\":{\"w\":0}}"; "7" ]);
     case "space_of_override replaces only the named axes" (fun () ->
         let s = P.space_of_override { P.no_override with P.nr = Some [| 64 |] } in
@@ -298,6 +300,11 @@ let get = function
   | Ok v -> v
   | Error e -> Alcotest.failf "unexpected error: %s" e
 
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
 let server_tests =
   [ case "warm repeat answers bit-identically to the one-shot path"
       (fun () ->
@@ -320,6 +327,44 @@ let server_tests =
             Alcotest.(check string) "decoded winner re-derives checksum"
               a.Serve.Client.checksum
               (Opt.Exhaustive.checksum [ a.Serve.Client.result ])));
+    case "explain reuses the optimize memo and refolds bit-exactly"
+      (fun () ->
+        with_server (fun _path c ->
+            let a = get (Serve.Client.optimize c reduced_query) in
+            let e = get (Serve.Client.explain c reduced_query) in
+            (* Same memoized search: the explain payload names the very
+               winner optimize returned. *)
+            Alcotest.(check (option string)) "same winner checksum"
+              (Some a.Serve.Client.checksum)
+              (J.string_field e "checksum");
+            Alcotest.(check (option bool)) "attribution refolds bit-exactly"
+              (Some true)
+              (Option.bind
+                 (J.member "attribution" e)
+                 (fun at -> Option.bind
+                     (J.member "consistent_bitwise" at) J.to_bool));
+            let edp_bits j =
+              Option.map Int64.bits_of_float
+                (Option.bind (J.member "attribution" j) (fun at ->
+                     Option.bind (J.member "metrics" at) (fun m ->
+                         J.float_field m "edp_js")))
+            in
+            let winner_edp =
+              a.Serve.Client.result.Opt.Exhaustive.best.Opt.Exhaustive.metrics
+                .Array_model.Array_eval.edp
+            in
+            Alcotest.(check (option int64)) "attributed EDP is the winner's"
+              (Some (Int64.bits_of_float winner_edp))
+              (edp_bits e);
+            (match Option.bind (J.member "sensitivity" e) J.to_list with
+            | Some axes ->
+              Alcotest.(check int) "four sensitivity axes" 4 (List.length axes)
+            | None -> Alcotest.fail "sensitivity section missing");
+            (* The journal armed at server startup saw the search; the
+               exposition carries its counters. *)
+            let text = get (Serve.Client.metrics c) in
+            Alcotest.(check bool) "search counters exposed" true
+              (contains ~needle:"sram_opt_search_incumbents_total" text)));
     case "a corrupt frame gets an answer and the server keeps serving"
       (fun () ->
         with_server (fun path c ->
@@ -460,11 +505,6 @@ let server_tests =
   ]
 
 (* ----- observability: trace ids, metrics, flight dumps ----- *)
-
-let contains ~needle haystack =
-  let nl = String.length needle and hl = String.length haystack in
-  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
-  go 0
 
 let check_has what needle text =
   Alcotest.(check bool) what true (contains ~needle text)
