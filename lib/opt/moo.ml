@@ -1,0 +1,106 @@
+(* Generic multi-objective machinery over raw objective vectors
+   (minimization everywhere).  Kept free of any SRAM types so the
+   QCheck properties can hammer it with arbitrary point sets; the
+   candidate-typed entry points live in {!Pareto} and {!Nsga2}. *)
+
+let dominates a b =
+  let n = Array.length a in
+  if Array.length b <> n then
+    invalid_arg "Moo.dominates: dimension mismatch";
+  let no_worse = ref true in
+  let better = ref false in
+  for m = 0 to n - 1 do
+    if a.(m) > b.(m) then no_worse := false
+    else if a.(m) < b.(m) then better := true
+  done;
+  !no_worse && !better
+
+(* Deb's fast non-dominated sort, O(M N^2): compute, for every point,
+   the set it dominates and the count of points dominating it, then
+   peel fronts.  Ranks depend only on the dominance relation, so they
+   are permutation-equivariant by construction (property-tested). *)
+let fast_nondominated_sort points =
+  let n = Array.length points in
+  let rank = Array.make n (-1) in
+  if n > 0 then begin
+    let dominated_by = Array.make n [] in
+    let domination_count = Array.make n 0 in
+    for p = 0 to n - 1 do
+      for q = 0 to n - 1 do
+        if p <> q && dominates points.(p) points.(q) then begin
+          dominated_by.(p) <- q :: dominated_by.(p);
+          domination_count.(q) <- domination_count.(q) + 1
+        end
+      done
+    done;
+    let current = ref [] in
+    for p = n - 1 downto 0 do
+      if domination_count.(p) = 0 then begin
+        rank.(p) <- 0;
+        current := p :: !current
+      end
+    done;
+    let level = ref 0 in
+    while !current <> [] do
+      let next = ref [] in
+      List.iter
+        (fun p ->
+          List.iter
+            (fun q ->
+              domination_count.(q) <- domination_count.(q) - 1;
+              if domination_count.(q) = 0 then begin
+                rank.(q) <- !level + 1;
+                next := q :: !next
+              end)
+            dominated_by.(p))
+        !current;
+      incr level;
+      (* Restore ascending order so the peel is deterministic (it does
+         not affect ranks, only the iteration order of the next wave). *)
+      current := List.sort compare !next
+    done
+  end;
+  rank
+
+(* Crowding distance in its canonical (permutation-invariant) form:
+   each objective contributes (next distinct value - previous distinct
+   value) / (max - min) around the point's own value, and any point
+   sitting on an objective's minimum or maximum gets infinity.  Points
+   with identical coordinates therefore get identical distances —
+   unlike the textbook sorted-neighbor formulation, whose treatment of
+   duplicates depends on input order. *)
+let crowding_distance points members =
+  let k = Array.length members in
+  let dist = Array.make k 0.0 in
+  if k > 0 then begin
+    let n_obj = Array.length points.(members.(0)) in
+    for m = 0 to n_obj - 1 do
+      let values =
+        Array.map (fun i -> points.(i).(m)) members |> Array.to_list
+        |> List.sort_uniq compare |> Array.of_list
+      in
+      let nv = Array.length values in
+      let lo = values.(0) and hi = values.(nv - 1) in
+      let span = hi -. lo in
+      (* Binary search for the point's own value among the distinct
+         values of this objective. *)
+      let find v =
+        let l = ref 0 and r = ref (nv - 1) in
+        while !l < !r do
+          let mid = (!l + !r) / 2 in
+          if values.(mid) < v then l := mid + 1 else r := mid
+        done;
+        !l
+      in
+      for j = 0 to k - 1 do
+        let v = points.(members.(j)).(m) in
+        if v = lo || v = hi then dist.(j) <- infinity
+        else if span > 0.0 then begin
+          let i = find v in
+          dist.(j) <-
+            dist.(j) +. ((values.(i + 1) -. values.(i - 1)) /. span)
+        end
+      done
+    done
+  end;
+  dist

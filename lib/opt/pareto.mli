@@ -4,6 +4,15 @@
     lets a designer trade a stricter latency budget against energy (and is
     the data behind the framework's extension studies). *)
 
+val objectives : Exhaustive.candidate -> float array
+(** The candidate's [| d_array; e_total |] vector — the coordinates
+    {!front}, {!dominates} and the NSGA-II machinery ({!Moo}) rank by. *)
+
+val dominates : Exhaustive.candidate -> Exhaustive.candidate -> bool
+(** [dominates a b]: [a] is no slower and no more energetic than [b],
+    and strictly better in at least one of the two.  Agrees with
+    {!Moo.dominates} on {!objectives} vectors (property-tested). *)
+
 val front : Exhaustive.candidate list -> Exhaustive.candidate list
 (** Non-dominated candidates under (d_array, e_total), sorted by
     increasing delay.  A candidate is dominated if another is no worse in

@@ -30,6 +30,8 @@ type query = {
   capacity_bits : int;
   flavor : Finfet.Library.flavor;
   method_ : Opt.Space.method_;
+  strategy : Opt.Strategy.t;
+  rng_seed : int;
   objective : Opt.Objective.t;
   accounting : Array_model.Array_eval.accounting;
   w : int;
@@ -40,6 +42,8 @@ let default_query =
   { capacity_bits = 4096 * 8;
     flavor = Finfet.Library.Hvt;
     method_ = Opt.Space.M2;
+    strategy = Opt.Strategy.Exhaustive;
+    rng_seed = Opt.Strategy.default_seed;
     objective = Opt.Objective.Energy_delay_product;
     accounting = Array_model.Array_eval.Paper_strict;
     w = 64;
@@ -139,6 +143,8 @@ let query_to_json (q : query) =
       ("flavor",
        J.String (String.lowercase_ascii (Finfet.Library.flavor_to_string q.flavor)));
       ("method", J.String (String.lowercase_ascii (Opt.Space.method_name q.method_)));
+      ("strategy", J.String (Opt.Strategy.name q.strategy));
+      ("rng_seed", J.Int q.rng_seed);
       ("objective", J.String (objective_to_string q.objective));
       ("accounting", J.String (accounting_to_string q.accounting));
       ("w", J.Int q.w) ]
@@ -249,10 +255,27 @@ let query_of_json j =
       (fun s -> Finfet.Library.flavor_of_string s)
       ~default:default_query.flavor
   in
-  let* method_ =
-    enum_field j "method"
-      (function "m1" -> Some Opt.Space.M1 | "m2" -> Some Opt.Space.M2 | _ -> None)
-      ~default:default_query.method_
+  (* The "method" field speaks {!Opt.Strategy.parse_method}'s grammar:
+     a pin policy ("m1"/"m2"), a strategy name ("nsga2", ...), or both
+     ("m1:nsga2").  An explicit "strategy" field wins over whatever the
+     method spelled; anything unparseable is a typed decode error —
+     the server answers [bad_request], the connection stays open. *)
+  let* pin, method_strategy =
+    match J.member "method" j with
+    | None -> Ok (None, None)
+    | Some v ->
+      let* s = require "method" (J.to_string_opt v) in
+      require
+        (Printf.sprintf "method value %S" s)
+        (Opt.Strategy.parse_method s)
+  in
+  let method_ = Option.value ~default:default_query.method_ pin in
+  let* strategy =
+    enum_field j "strategy" Opt.Strategy.of_name
+      ~default:(Option.value ~default:default_query.strategy method_strategy)
+  in
+  let rng_seed =
+    Option.value ~default:default_query.rng_seed (J.int_field j "rng_seed")
   in
   let* objective =
     enum_field j "objective" objective_of_string ~default:default_query.objective
@@ -267,7 +290,9 @@ let query_of_json j =
     | None -> Ok no_override
     | Some sj -> space_override_of_json sj
   in
-  Ok { capacity_bits; flavor; method_; objective; accounting; w; space }
+  Ok
+    { capacity_bits; flavor; method_; strategy; rng_seed; objective;
+      accounting; w; space }
 
 let request_of_json j =
   let* id = require "id" (J.int_field j "id") in

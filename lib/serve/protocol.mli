@@ -26,6 +26,15 @@ type query = {
   capacity_bits : int;
   flavor : Finfet.Library.flavor;
   method_ : Opt.Space.method_;
+  strategy : Opt.Strategy.t;
+  (** search engine ({!Opt.Strategy.run} dispatch).  On the wire the
+      ["method"] field speaks {!Opt.Strategy.parse_method}'s grammar
+      (["m2"], ["nsga2"], ["m1:nsga2"], ...); an explicit ["strategy"]
+      field wins.  An unknown spelling is a decode error — the server
+      answers a typed [bad_request] and keeps the connection open. *)
+  rng_seed : int;
+  (** seed for the stochastic engines (wire field ["rng_seed"]); same
+      seed, same answer, bit for bit *)
   objective : Opt.Objective.t;
   accounting : Array_model.Array_eval.accounting;
   w : int;
@@ -33,7 +42,8 @@ type query = {
 }
 
 val default_query : query
-(** 4KB, HVT, M2, EDP, strict accounting, w = 64, no override. *)
+(** 4KB, HVT, M2, exhaustive strategy (seed 42), EDP, strict
+    accounting, w = 64, no override. *)
 
 type endpoint =
   | Ping                (** liveness probe; payload echoes the server pid *)

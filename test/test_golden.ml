@@ -72,6 +72,7 @@ let () =
   Alcotest.run "golden"
     [ ( "files",
         List.map check_golden
-          [ "table4.json"; "report.txt"; "datasheet.txt"; "stats.json" ] );
+          [ "table4.json"; "report.txt"; "datasheet.txt"; "stats.json";
+            "strategies.json" ] );
       ("structure", structure_tests);
     ]

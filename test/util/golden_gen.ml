@@ -137,15 +137,59 @@ let stats_schema () =
   Obs.Window.reset_all ();
   text
 
-let files () =
+(* ----- strategy result schema ----- *)
+
+(* Routing every engine through {!Opt.Strategy.run} must not change the
+   result JSON a client sees (the serve payloads and the checkpoint
+   journal both embed it).  Values legitimately differ per engine — the
+   heuristics evaluate a subset — so the golden pins the SHAPE of
+   [Opt.Exhaustive.result_to_json] for each strategy, same collapse as
+   the stats schema. *)
+let rec persist_schema_of = function
+  | Persist.Json.Null -> Json_out.String "null"
+  | Persist.Json.Bool _ -> Json_out.String "bool"
+  | Persist.Json.Int _ -> Json_out.String "int"
+  | Persist.Json.Float _ -> Json_out.String "float"
+  | Persist.Json.String _ -> Json_out.String "string"
+  | Persist.Json.List [] -> Json_out.List []
+  | Persist.Json.List (x :: _) -> Json_out.List [ persist_schema_of x ]
+  | Persist.Json.Obj fields ->
+    Json_out.Obj (List.map (fun (k, v) -> (k, persist_schema_of v)) fields)
+
+let strategies_schema () =
+  let env = Array_model.Array_eval.make_env ~cell_flavor:Finfet.Library.Hvt () in
+  let result_of st =
+    Opt.Strategy.run st ~space:Opt.Space.reduced ~env
+      ~capacity_bits:(1024 * 8) ~method_:Opt.Space.M2 ()
+  in
+  Json_out.to_string_pretty
+    (Json_out.Obj
+       (List.map
+          (fun st ->
+            ( Opt.Strategy.name st,
+              persist_schema_of (Opt.Exhaustive.result_to_json (result_of st))
+            ))
+          [ Opt.Strategy.Exhaustive; Opt.Strategy.Local_search;
+            Opt.Strategy.Anneal; Opt.Strategy.Nsga2; Opt.Strategy.Surrogate ]))
+  ^ "\n"
+
+let files_memo =
   (* Sequenced lets: [stats_schema] mutates (then resets) global
      telemetry state, so it must not interleave with the sweep-backed
-     generators. *)
-  let table4 = table4_json () in
-  let report = report_text () in
-  let datasheet = datasheet_text () in
-  let stats = stats_schema () in
-  [ ("table4.json", table4);
-    ("report.txt", report);
-    ("datasheet.txt", datasheet);
-    ("stats.json", stats) ]
+     generators.  The whole list is memoized because generation is not
+     idempotent either — [strategies_schema] registers the heuristic
+     engines' telemetry counters, which would leak into a *second*
+     [stats_schema] run's counter listing. *)
+  lazy
+    (let table4 = table4_json () in
+     let report = report_text () in
+     let datasheet = datasheet_text () in
+     let stats = stats_schema () in
+     let strategies = strategies_schema () in
+     [ ("table4.json", table4);
+       ("report.txt", report);
+       ("datasheet.txt", datasheet);
+       ("stats.json", stats);
+       ("strategies.json", strategies) ])
+
+let files () = Lazy.force files_memo
